@@ -1,0 +1,115 @@
+//! Microbenchmark for §3.2's motivation: the cost of local deque
+//! operations. The split deque's `push_bottom`/`pop_bottom` are
+//! synchronization-free; the ABP (WS) deque pays a seq-cst fence per
+//! operation; `crossbeam-deque` (a Chase-Lev implementation) is the
+//! independent industry baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lcws_core::deque::{AbpDeque, SplitDeque};
+use lcws_core::PopBottomMode;
+
+const OPS: usize = 1024;
+
+fn bench_local_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_push_pop");
+    g.throughput(criterion::Throughput::Elements(OPS as u64));
+
+    g.bench_function("split_deque (LCWS, fence-free)", |b| {
+        let d = SplitDeque::new(OPS + 1);
+        b.iter(|| {
+            for i in 1..=OPS {
+                d.push_bottom(i as *mut _);
+            }
+            for _ in 0..OPS {
+                std::hint::black_box(d.pop_bottom(PopBottomMode::Standard));
+            }
+        });
+    });
+
+    g.bench_function("split_deque signal-safe pop", |b| {
+        let d = SplitDeque::new(OPS + 1);
+        b.iter(|| {
+            for i in 1..=OPS {
+                d.push_bottom(i as *mut _);
+            }
+            for _ in 0..OPS {
+                std::hint::black_box(d.pop_bottom(PopBottomMode::SignalSafe));
+            }
+        });
+    });
+
+    g.bench_function("abp_deque (WS, fence per op)", |b| {
+        let d = AbpDeque::new(OPS + 1);
+        b.iter(|| {
+            for i in 1..=OPS {
+                d.push_bottom(i as *mut _);
+            }
+            for _ in 0..OPS {
+                std::hint::black_box(d.pop_bottom());
+            }
+        });
+    });
+
+    g.bench_function("crossbeam_deque (Chase-Lev baseline)", |b| {
+        let w: crossbeam_deque::Worker<usize> = crossbeam_deque::Worker::new_lifo();
+        b.iter(|| {
+            for i in 1..=OPS {
+                w.push(i);
+            }
+            for _ in 0..OPS {
+                std::hint::black_box(w.pop());
+            }
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_steal_path(c: &mut Criterion) {
+    // Each iteration gets a fresh deque: steals advance `top` without
+    // recycling slots, so reusing one deque would overflow its array.
+    let mut g = c.benchmark_group("steal_path");
+    g.bench_function("split_deque expose+steal", |b| {
+        b.iter_batched(
+            || {
+                let d = SplitDeque::new(OPS + 1);
+                for i in 1..=OPS {
+                    d.push_bottom(i as *mut _);
+                }
+                d
+            },
+            |d| {
+                for _ in 0..OPS {
+                    d.update_public_bottom(lcws_core::ExposurePolicy::One);
+                    std::hint::black_box(d.pop_top());
+                }
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.bench_function("abp_deque steal", |b| {
+        b.iter_batched(
+            || {
+                let d = AbpDeque::new(OPS + 1);
+                for i in 1..=OPS {
+                    d.push_bottom(i as *mut _);
+                }
+                d
+            },
+            |d| {
+                for _ in 0..OPS {
+                    std::hint::black_box(d.pop_top());
+                }
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_local_ops, bench_steal_path
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! §4.1.2 "Implementation Details" ablation: rounding `r/2` inside the
+//! Expose Half handler. The paper found `std::round` an order of magnitude
+//! too slow and adopted a Lua-style bit trick; this bench reproduces that
+//! comparison (`double2int` vs `f64::round` vs integer arithmetic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcws_core::double2int;
+
+fn bench_rounding(c: &mut Criterion) {
+    let inputs: Vec<f64> = (0..4096).map(|i| i as f64 / 2.0).collect();
+    let mut g = c.benchmark_group("round_half");
+    g.throughput(criterion::Throughput::Elements(inputs.len() as u64));
+
+    g.bench_function("double2int (Lua bit trick)", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &x in &inputs {
+                acc += double2int(std::hint::black_box(x)) as i64;
+            }
+            acc
+        });
+    });
+
+    g.bench_function("f64::round", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &x in &inputs {
+                acc += std::hint::black_box(x).round() as i64;
+            }
+            acc
+        });
+    });
+
+    g.bench_function("integer (r.div_ceil(2))", |b| {
+        let ints: Vec<u32> = (0..4096u32).collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &r in &ints {
+                acc += std::hint::black_box(r).div_ceil(2) as u64;
+            }
+            acc
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_rounding);
+criterion_main!(benches);

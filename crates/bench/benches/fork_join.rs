@@ -1,0 +1,57 @@
+//! Scheduler-level microbenchmarks: fork-join overhead (fib) and a flat
+//! parallel loop, across all five scheduler variants. The interesting
+//! comparison is WS vs the LCWS variants at low worker counts — the
+//! paper's multiprogrammed-environment scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcws_core::{join, par_for_grain, ThreadPool, Variant};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+fn bench_fib(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fib18");
+    for variant in Variant::ALL {
+        for threads in [1usize, 2] {
+            let pool = ThreadPool::new(variant, threads);
+            g.bench_with_input(
+                BenchmarkId::new(variant.name(), threads),
+                &threads,
+                |b, _| {
+                    b.iter(|| pool.run(|| std::hint::black_box(fib(18))));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_par_for(c: &mut Criterion) {
+    let mut g = c.benchmark_group("par_for_100k");
+    let n = 100_000;
+    for variant in Variant::ALL {
+        let pool = ThreadPool::new(variant, 2);
+        g.bench_function(variant.name(), |b| {
+            b.iter(|| {
+                pool.run(|| {
+                    par_for_grain(0..n, 256, |i| {
+                        std::hint::black_box(i * i);
+                    });
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fib, bench_par_for
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Work-exposure request cost (the paper's footnote 2: LCWS's
+//! constant-time guarantee holds "up to the time that the underlying
+//! Operating System takes to deliver signals").
+//!
+//! Two measurements:
+//! 1. the full data-path round trip of an exposure request against a busy
+//!    victim — request set → victim transfers one task across the split
+//!    boundary → thief's steal succeeds;
+//! 2. the thief-side cost of issuing a `pthread_kill` notification, which
+//!    is what the signal variants add on top of (1) per request.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcws_core::{ExposurePolicy, SplitDeque};
+
+/// Exposure request line between the measuring thread and the victim.
+static EXPOSE_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+struct Victim {
+    deque: Arc<SplitDeque>,
+    pthread: u64,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Victim {
+    /// A busy thread owning a split deque that serves exposure requests
+    /// as fast as it can observe them (the handler-latency lower bound).
+    fn spawn() -> Victim {
+        let deque = Arc::new(SplitDeque::new(1 << 16));
+        let stop = Arc::new(AtomicBool::new(false));
+        let pthread_cell = Arc::new(AtomicU64::new(0));
+        let (d, s, pc) = (Arc::clone(&deque), Arc::clone(&stop), Arc::clone(&pthread_cell));
+        let handle = std::thread::spawn(move || {
+            pc.store(unsafe { libc::pthread_self() } as u64, Ordering::Release);
+            while !s.load(Ordering::Acquire) {
+                if EXPOSE_REQUESTED.swap(false, Ordering::AcqRel) {
+                    d.update_public_bottom(ExposurePolicy::One);
+                }
+                std::hint::spin_loop();
+            }
+        });
+        let pthread = loop {
+            let p = pthread_cell.load(Ordering::Acquire);
+            if p != 0 {
+                break p;
+            }
+            std::thread::yield_now();
+        };
+        Victim {
+            deque,
+            pthread,
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Victim {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn bench_exposure_roundtrip(c: &mut Criterion) {
+    let victim = Victim::spawn();
+    let mut g = c.benchmark_group("exposure_request");
+    g.sample_size(20);
+
+    g.bench_function("roundtrip: request → expose → steal", |b| {
+        b.iter(|| {
+            victim.deque.push_bottom(0x10 as *mut _);
+            EXPOSE_REQUESTED.store(true, Ordering::Release);
+            loop {
+                match victim.deque.pop_top() {
+                    lcws_core::deque::Steal::Ok(_) => break,
+                    _ => std::hint::spin_loop(),
+                }
+            }
+        });
+    });
+
+    g.bench_function("thief-side pthread_kill issue cost", |b| {
+        // sig 0 performs delivery-path validation without running a
+        // handler: the marginal syscall cost a signaling thief pays.
+        b.iter(|| unsafe {
+            libc::pthread_kill(victim.pthread as libc::pthread_t, 0);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_exposure_roundtrip);
+criterion_main!(benches);

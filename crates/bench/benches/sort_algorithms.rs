@@ -1,0 +1,57 @@
+//! Ablation: comparison-sort algorithm choice inside the `comparisonSort`
+//! benchmark — PBBS's sample sort vs the textbook parallel merge sort vs
+//! `slice::sort` — all under the signal-LCWS scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcws_core::{ThreadPool, Variant};
+use parlay_rs::random::Random;
+
+fn input(n: usize) -> Vec<u64> {
+    let r = Random::new(99);
+    (0..n).map(|i| r.ith_rand(i as u64)).collect()
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let n = 200_000;
+    let base = input(n);
+    let pool = ThreadPool::new(Variant::Signal, 2);
+    let mut g = c.benchmark_group("comparison_sort_200k");
+    g.sample_size(10);
+
+    g.bench_function("sample_sort (PBBS algorithm)", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut v| pool.run(|| parlay_rs::sample_sort(&mut v)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    g.bench_function("merge_sort (parallel merge)", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut v| pool.run(|| parlay_rs::sort(&mut v)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    g.bench_function("radix_sort (integer keys)", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut v| pool.run(|| parlay_rs::integer_sort(&mut v)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    g.bench_function("std_sort_unstable (sequential)", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut v| v.sort_unstable(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sorts);
+criterion_main!(benches);

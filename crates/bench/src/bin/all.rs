@@ -1,0 +1,28 @@
+//! Runs one full sweep over all five schedulers and regenerates **every**
+//! table, figure, and statistics section of the paper from the same data,
+//! writing CSVs under `results/` (the data quoted in EXPERIMENTS.md).
+
+use lcws_bench::figures;
+
+fn main() {
+    println!(
+        "{}",
+        lcws_bench::machine::MachineInfo::probe().table()
+    );
+    let cfg = lcws_bench::SweepConfig::from_args_with_default_variants(
+        "ws,uslcws,signal,cons,half",
+    );
+    let ms = lcws_bench::sweep(&cfg);
+    let report = lcws_bench::Report::new("raw measurements");
+    let (header, rows) = figures::raw_csv(&ms);
+    report.csv("raw_measurements", &header, &rows);
+    figures::fig3(&ms).print();
+    figures::fig4(&ms).print();
+    figures::fig5(&ms).print();
+    figures::fig6(&ms).print();
+    figures::fig7(&ms).print();
+    figures::fig8(&ms).print();
+    figures::stats51(&ms).print();
+    figures::stats52(&ms).print();
+    figures::stats54(&ms).print();
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig3 from a live sweep.
+//! Default variants: ws,uslcws; override with --variants/--threads/--reps/--scale.
+
+fn main() {
+    let cfg = lcws_bench::SweepConfig::from_args_with_default_variants("ws,uslcws");
+    let ms = lcws_bench::sweep(&cfg);
+    lcws_bench::figures::fig3(&ms).print();
+}

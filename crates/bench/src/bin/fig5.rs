@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig5 from a live sweep.
+//! Default variants: ws,uslcws,signal,cons,half; override with --variants/--threads/--reps/--scale.
+
+fn main() {
+    let cfg = lcws_bench::SweepConfig::from_args_with_default_variants("ws,uslcws,signal,cons,half");
+    let ms = lcws_bench::sweep(&cfg);
+    lcws_bench::figures::fig5(&ms).print();
+}

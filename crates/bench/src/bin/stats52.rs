@@ -1,0 +1,8 @@
+//! Regenerates the paper's stats52 from a live sweep.
+//! Default variants: ws,signal; override with --variants/--threads/--reps/--scale.
+
+fn main() {
+    let cfg = lcws_bench::SweepConfig::from_args_with_default_variants("ws,signal");
+    let ms = lcws_bench::sweep(&cfg);
+    lcws_bench::figures::stats52(&ms).print();
+}

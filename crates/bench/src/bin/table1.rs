@@ -1,0 +1,6 @@
+//! Table 1: the machine(s) used in the evaluation — here, the host the
+//! reproduction runs on.
+
+fn main() {
+    print!("{}", lcws_bench::machine::MachineInfo::probe().table());
+}

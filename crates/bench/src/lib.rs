@@ -1,0 +1,22 @@
+//! # lcws-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§3.3, §5):
+//! one binary per artifact (`table1`, `fig3` … `fig8`, `stats51`,
+//! `stats52`, `stats54`, `all`), all built on the shared [`sweep`] runner
+//! that executes every PBBS benchmark configuration ⟨benchmark, input, P⟩
+//! under each scheduler variant, collecting wall times and synchronization
+//! profiles.
+//!
+//! Text reports go to stdout; machine-readable CSVs go to `results/`.
+
+#![deny(missing_docs)]
+
+pub mod figures;
+pub mod machine;
+pub mod report;
+pub mod stats;
+pub mod sweep;
+
+pub use report::Report;
+pub use stats::BoxStats;
+pub use sweep::{sweep, Measurement, SweepConfig};

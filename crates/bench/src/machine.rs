@@ -1,0 +1,110 @@
+//! Host introspection for Table 1 (the paper lists the machines used; we
+//! print the equivalent row for the machine the reproduction runs on).
+
+use std::fmt::Write as _;
+
+/// Hardware description of the current host.
+#[derive(Debug, Clone)]
+pub struct MachineInfo {
+    /// CPU model string.
+    pub cpu: String,
+    /// Physical core count (best effort; logical if physical unknown).
+    pub cores: usize,
+    /// Logical CPU (hardware thread) count.
+    pub threads: usize,
+    /// Total memory, GiB.
+    pub memory_gib: f64,
+    /// OS/kernel description.
+    pub os: String,
+}
+
+impl MachineInfo {
+    /// Probe `/proc` (Linux); degrades gracefully elsewhere.
+    pub fn probe() -> MachineInfo {
+        let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+        let cpu = cpuinfo
+            .lines()
+            .find(|l| l.starts_with("model name"))
+            .and_then(|l| l.split(':').nth(1))
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|| "unknown CPU".into());
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let cores = {
+            let mut ids: Vec<&str> = cpuinfo
+                .lines()
+                .filter(|l| l.starts_with("core id"))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            if ids.is_empty() {
+                threads
+            } else {
+                ids.len()
+            }
+        };
+        let memory_gib = std::fs::read_to_string("/proc/meminfo")
+            .ok()
+            .and_then(|m| {
+                m.lines()
+                    .find(|l| l.starts_with("MemTotal"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|kb| kb.parse::<f64>().ok())
+            })
+            .map(|kb| kb / (1024.0 * 1024.0))
+            .unwrap_or(0.0);
+        let os = std::fs::read_to_string("/proc/version")
+            .map(|v| v.split(" (").next().unwrap_or("").to_string())
+            .unwrap_or_else(|_| "unknown OS".into());
+        MachineInfo {
+            cpu,
+            cores,
+            threads,
+            memory_gib,
+            os,
+        }
+    }
+
+    /// The Table-1-style row for this host.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Table 1 (reproduction): computer used in the experimental evaluation"
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:<45} {:>14} {:>10}",
+            "Name", "CPU", "Cores/Threads", "Memory"
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:<45} {:>7}/{:<6} {:>7.1} GiB",
+            "host", self.cpu, self.cores, self.threads, self.memory_gib
+        );
+        let _ = writeln!(out, "OS: {}", self.os.trim());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_yields_sane_values() {
+        let m = MachineInfo::probe();
+        assert!(m.threads >= 1);
+        assert!(m.cores >= 1);
+        assert!(!m.cpu.is_empty());
+    }
+
+    #[test]
+    fn table_mentions_core_count() {
+        let m = MachineInfo::probe();
+        let t = m.table();
+        assert!(t.contains("Cores/Threads"));
+        assert!(t.contains(&m.cores.to_string()));
+    }
+}

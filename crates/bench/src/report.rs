@@ -1,0 +1,93 @@
+//! Report builder: aligned text tables on stdout plus CSVs in `results/`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Accumulates a text report and optional CSV artifacts.
+pub struct Report {
+    title: String,
+    body: String,
+    csv_dir: PathBuf,
+}
+
+impl Report {
+    /// New report with a figure/table title. CSVs are written under
+    /// `results/` in the current directory (created on demand).
+    pub fn new(title: impl Into<String>) -> Report {
+        Report {
+            title: title.into(),
+            body: String::new(),
+            csv_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Append a section heading.
+    pub fn section(&mut self, heading: &str) {
+        let _ = writeln!(self.body, "\n## {heading}");
+    }
+
+    /// Append one text line.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        let _ = writeln!(self.body, "{}", text.as_ref());
+    }
+
+    /// Write a CSV artifact (`results/<name>.csv`); errors are reported on
+    /// stderr but never abort report generation.
+    pub fn csv(&self, name: &str, header: &str, rows: &[String]) {
+        if let Err(e) = std::fs::create_dir_all(&self.csv_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.csv_dir.display());
+            return;
+        }
+        let path = self.csv_dir.join(format!("{name}.csv"));
+        let mut content = String::with_capacity(rows.len() * 32 + header.len() + 1);
+        let _ = writeln!(content, "{header}");
+        for r in rows {
+            let _ = writeln!(content, "{r}");
+        }
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("[csv] wrote {}", path.display());
+        }
+    }
+
+    /// Render the full report to a string.
+    pub fn render(&self) -> String {
+        format!("==== {} ====\n{}", self.title, self.body)
+    }
+
+    /// Print the report to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_sections_lines() {
+        let mut r = Report::new("Figure X");
+        r.section("part a");
+        r.line("hello");
+        let s = r.render();
+        assert!(s.contains("==== Figure X ===="));
+        assert!(s.contains("## part a"));
+        assert!(s.contains("hello"));
+    }
+
+    #[test]
+    fn csv_written_to_disk() {
+        let dir = std::env::temp_dir().join(format!("lcws-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let r = Report::new("t");
+        r.csv("unit_test", "a,b", &["1,2".into(), "3,4".into()]);
+        let content = std::fs::read_to_string("results/unit_test.csv").unwrap();
+        std::env::set_current_dir(old).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

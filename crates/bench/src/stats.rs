@@ -1,0 +1,148 @@
+//! Statistics used by the figure reports: box-plot five-number summaries
+//! (the paper's box plots, rendered as text) and simple aggregates.
+
+/// Five-number summary + mean, matching what the paper's box plots show.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Smallest value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Compute the summary of `values` (empty input yields all-NaN stats
+    /// with `n == 0`).
+    pub fn of(values: &[f64]) -> BoxStats {
+        let n = values.len();
+        if n == 0 {
+            return BoxStats {
+                min: f64::NAN,
+                q1: f64::NAN,
+                median: f64::NAN,
+                q3: f64::NAN,
+                max: f64::NAN,
+                mean: f64::NAN,
+                n: 0,
+            };
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.total_cmp(b));
+        BoxStats {
+            min: v[0],
+            q1: quantile(&v, 0.25),
+            median: quantile(&v, 0.5),
+            q3: quantile(&v, 0.75),
+            max: v[n - 1],
+            mean: v.iter().sum::<f64>() / n as f64,
+            n,
+        }
+    }
+
+    /// One-line rendering used in the figure tables.
+    pub fn row(&self) -> String {
+        format!(
+            "min {:6.3}  q1 {:6.3}  med {:6.3}  q3 {:6.3}  max {:6.3}  mean {:6.3}  (n={})",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean, self.n
+        )
+    }
+
+    /// CSV fields matching [`BoxStats::csv_header`].
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{}",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean, self.n
+        )
+    }
+
+    /// CSV header for [`BoxStats::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "min,q1,median,q3,max,mean,n"
+    }
+}
+
+/// Linear-interpolated quantile of an ascending-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Geometric mean (used for "average speedup" summaries, robust to
+/// reciprocal asymmetry).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Fraction of values strictly above `threshold`.
+pub fn fraction_above(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().filter(|&&v| v > threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_known_values() {
+        let s = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn box_stats_single_and_empty() {
+        let one = BoxStats::of(&[7.0]);
+        assert_eq!(one.median, 7.0);
+        assert_eq!(one.q1, 7.0);
+        let none = BoxStats::of(&[]);
+        assert_eq!(none.n, 0);
+        assert!(none.median.is_nan());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile(&v, 0.25), 2.5);
+        assert_eq!(quantile(&v, 0.5), 5.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_above_counts_strictly() {
+        assert_eq!(fraction_above(&[0.9, 1.0, 1.1, 1.2], 1.0), 0.5);
+    }
+}

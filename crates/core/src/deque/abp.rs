@@ -1,0 +1,230 @@
+//! The fully-concurrent ABP-style work-stealing deque used by the WS
+//! baseline (the deque Parlay's stock scheduler uses).
+//!
+//! Unlike the split deque, *every* slot can be taken by a thief at any time,
+//! which forces the owner to pay a sequentially-consistent fence on **every**
+//! `pop_bottom` (and to publish every `push_bottom` with a fence) — this is
+//! the `O(W)`-fences synchronization cost LCWS eliminates, and exactly what
+//! Figures 3a/8a of the paper ratio against.
+//!
+//! The implementation mirrors Parlay's `work_stealing_deque` (itself the
+//! bounded-array deque of Arora–Blumofe–Plaxton with a tagged `age` word),
+//! with the fence/CAS placement preserved so the counted operations match.
+
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+
+use crossbeam_utils::CachePadded;
+use lcws_metrics as metrics;
+
+use crate::age::AtomicAge;
+use crate::deque::Steal;
+use crate::job::Job;
+
+/// Bounded ABP deque: `age = {tag, top}` at the top, `bot` at the bottom.
+pub struct AbpDeque {
+    age: CachePadded<AtomicAge>,
+    bot: CachePadded<AtomicU32>,
+    slots: Box<[AtomicPtr<Job>]>,
+}
+
+unsafe impl Send for AbpDeque {}
+unsafe impl Sync for AbpDeque {}
+
+impl AbpDeque {
+    /// Create a deque with `capacity` slots (`capacity < 2^32`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0 && capacity < u32::MAX as usize);
+        let slots = (0..capacity)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        AbpDeque {
+            age: CachePadded::new(AtomicAge::new()),
+            bot: CachePadded::new(AtomicU32::new(0)),
+            slots,
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Owner: push at the bottom. Publishes with a seq-cst fence so
+    /// concurrent thieves observe the slot before the new `bot`.
+    #[inline]
+    pub fn push_bottom(&self, task: *mut Job) {
+        let b = self.bot.load(Ordering::Relaxed);
+        assert!(
+            (b as usize) < self.slots.len(),
+            "ABP deque overflow (capacity {}); raise PoolBuilder::deque_capacity",
+            self.slots.len()
+        );
+        self.slots[b as usize].store(task, Ordering::Release);
+        self.bot.store(b + 1, Ordering::Release);
+        metrics::fence_seq_cst();
+        metrics::bump(metrics::Counter::Push);
+    }
+
+    /// Owner: pop from the bottom. Always pays a seq-cst fence; pays a CAS
+    /// too when racing thieves for the last task.
+    pub fn pop_bottom(&self) -> Option<*mut Job> {
+        let b = self.bot.load(Ordering::Relaxed);
+        if b == 0 {
+            return None;
+        }
+        let b1 = b - 1;
+        self.bot.store(b1, Ordering::Relaxed);
+        // The expensive fence WS pays on every local pop (cf. Attiya et
+        // al.'s lower bound, discussed in the paper's introduction).
+        metrics::fence_seq_cst();
+        let task = self.slots[b1 as usize].load(Ordering::Relaxed);
+        let old_age = self.age.load(Ordering::Relaxed);
+        if b1 > old_age.top {
+            metrics::bump(metrics::Counter::LocalPop);
+            return Some(task);
+        }
+        // Zero or one task left: reset and possibly race thieves for it.
+        self.bot.store(0, Ordering::Relaxed);
+        let new_age = old_age.reset();
+        if b1 == old_age.top {
+            metrics::record_cas();
+            if self
+                .age
+                .compare_exchange(old_age, new_age, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                metrics::bump(metrics::Counter::LocalPop);
+                return Some(task);
+            }
+        }
+        self.age.store(new_age, Ordering::Release);
+        None
+    }
+
+    /// Thief: steal the top-most task.
+    pub fn pop_top(&self) -> Steal {
+        metrics::bump(metrics::Counter::StealAttempt);
+        let old_age = self.age.load(Ordering::Acquire);
+        let b = self.bot.load(Ordering::Acquire);
+        if b > old_age.top {
+            let task = self.slots[old_age.top as usize].load(Ordering::Acquire);
+            let new_age = old_age.with_top_incremented();
+            metrics::record_cas();
+            if self
+                .age
+                .compare_exchange(old_age, new_age, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                metrics::bump(metrics::Counter::StealOk);
+                return Steal::Ok(task);
+            }
+            return Steal::Abort;
+        }
+        Steal::Empty
+    }
+
+    /// Is the deque observably empty (racy)?
+    pub fn is_empty(&self) -> bool {
+        let b = self.bot.load(Ordering::Relaxed);
+        let top = self.age.load(Ordering::Relaxed).top;
+        b <= top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(n: usize) -> *mut Job {
+        n as *mut Job
+    }
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = AbpDeque::new(16);
+        d.push_bottom(job(1));
+        d.push_bottom(job(2));
+        d.push_bottom(job(3));
+        assert_eq!(d.pop_top(), Steal::Ok(job(1)));
+        assert_eq!(d.pop_bottom(), Some(job(3)));
+        assert_eq!(d.pop_bottom(), Some(job(2)));
+        assert_eq!(d.pop_bottom(), None);
+        assert_eq!(d.pop_top(), Steal::Empty);
+    }
+
+    #[test]
+    fn reset_reuses_slots() {
+        let d = AbpDeque::new(4);
+        for round in 0..10 {
+            d.push_bottom(job(round * 2 + 1));
+            d.push_bottom(job(round * 2 + 2));
+            assert!(d.pop_bottom().is_some());
+            assert!(d.pop_bottom().is_some());
+            assert_eq!(d.pop_bottom(), None);
+        }
+    }
+
+    #[test]
+    fn fences_counted_per_local_op() {
+        lcws_metrics::reset_local();
+        let c = lcws_metrics::Collector::new();
+        let d = AbpDeque::new(16);
+        d.push_bottom(job(1));
+        d.pop_bottom();
+        lcws_metrics::flush_into(&c);
+        let s = c.snapshot();
+        assert_eq!(s.fences(), 2, "one fence per push + one per pop");
+    }
+
+    #[test]
+    fn concurrent_stress_no_loss_no_duplication() {
+        use std::collections::HashSet;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Mutex;
+
+        const N: usize = 2000;
+        let d = AbpDeque::new(N + 1);
+        let taken = Mutex::new(Vec::<usize>::new());
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        match d.pop_top() {
+                            Steal::Ok(j) => local.push(j as usize),
+                            Steal::Abort => continue,
+                            _ => {
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    taken.lock().unwrap().extend(local);
+                });
+            }
+            let mut local = Vec::new();
+            for i in 1..=N {
+                d.push_bottom(job(i));
+                if i % 2 == 0 {
+                    if let Some(j) = d.pop_bottom() {
+                        local.push(j as usize);
+                    }
+                }
+            }
+            while let Some(j) = d.pop_bottom() {
+                local.push(j as usize);
+            }
+            done.store(true, Ordering::Release);
+            taken.lock().unwrap().extend(local);
+        });
+
+        let all = taken.into_inner().unwrap();
+        let set: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "a task was executed twice");
+        assert_eq!(set.len(), N, "a task was lost");
+    }
+}

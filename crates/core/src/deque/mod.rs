@@ -1,0 +1,53 @@
+//! Work-stealing deques: the paper's split deque and the ABP/Parlay-style
+//! fully-concurrent deque used as the WS baseline.
+//!
+//! Both deques store thin `*mut Job` pointers in a fixed-capacity array
+//! (as the paper's `array<alligned_task_t, size> deq` does) and share the
+//! packed `{tag, top}` [`crate::age::Age`] word at their top end.
+//!
+//! Synchronization accounting: every seq-cst fence goes through
+//! [`lcws_metrics::fence_seq_cst`] and every CAS is recorded with
+//! [`lcws_metrics::record_cas`], placed at exactly the program points of the
+//! paper's Listings — this is what regenerates Figures 3 and 8.
+
+mod abp;
+mod split;
+
+pub use abp::AbpDeque;
+pub use split::{double2int, ExposurePolicy, PopBottomMode, SplitDeque};
+
+use crate::job::Job;
+
+/// Outcome of a thief's `pop_top` attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// A task was stolen.
+    Ok(*mut Job),
+    /// The deque (public part, for split deques) holds no work at all.
+    Empty,
+    /// Split deque only: the public part is empty but the victim has private
+    /// work — the thief should request exposure (set the `targeted` flag /
+    /// send a signal). This is the paper's `PRIVATE_WORK` sentinel.
+    PrivateWork,
+    /// The CAS race was lost to another taker; retry elsewhere. This is the
+    /// paper's `ABORT` sentinel.
+    Abort,
+}
+
+impl Steal {
+    /// The stolen job, if any.
+    #[inline]
+    pub fn success(self) -> Option<*mut Job> {
+        match self {
+            Steal::Ok(j) => Some(j),
+            _ => None,
+        }
+    }
+}
+
+/// Default number of slots per worker deque.
+///
+/// Fork-join recursion depth bounds the live extent for `join`-structured
+/// programs (depth ≤ log2 n), while `scope` spawns can fill it linearly;
+/// [`crate::PoolBuilder::deque_capacity`] raises it when needed.
+pub const DEFAULT_DEQUE_CAPACITY: usize = 1 << 13;

@@ -1,0 +1,641 @@
+//! The split deque of Listing 2, with the paper's §4 signal-safe
+//! `pop_bottom` variant and the §4.1 exposure policies.
+//!
+//! Layout invariant (see Figure 1): slots `[0, bot)` hold tasks;
+//! `[age.top, public_bot)` is the **public part** (stealable), and
+//! `[public_bot, bot)` is the **private part**, touched only by the owner
+//! with plain (Relaxed) operations — no fences, no CAS.
+//!
+//! ## Memory-model notes (deviations from the C++ listing, all justified)
+//!
+//! * The C++ fields `bot`/`public_bot` are plain `unsigned int` and the task
+//!   array is non-atomic; cross-thread plain accesses are UB in Rust, so all
+//!   fields are atomics accessed with `Relaxed` (which compiles to the same
+//!   plain loads/stores the C++ emits) and the paper's two explicit
+//!   `atomic_thread_fence(seq_cst)` calls are kept verbatim.
+//! * `update_public_bottom` stores `public_bot` with **Release** and thieves
+//!   load it with **Acquire**. The listing uses plain accesses and relies on
+//!   x86-TSO to order the slot write before the boundary publication; on
+//!   x86 Release/Acquire are exactly those plain accesses, so the observable
+//!   synchronization cost is unchanged, and the code stays correct on
+//!   weakly-ordered ISAs. The paper itself counts exposure as a
+//!   synchronization event (Figure 3d discussion), consistent with this.
+//! * In `pop_top`, `age` is loaded with Acquire so the subsequent
+//!   `public_bot` load cannot be hoisted above it on weak ISAs (free on
+//!   x86). None of these strengthen the *fence/CAS counts* the evaluation
+//!   measures.
+//!
+//! ## The §4 owner-vs-handler race
+//!
+//! With signals, `update_public_bottom` runs inside a `SIGUSR1` handler that
+//! can interrupt the owner *between any two instructions* of `pop_bottom`.
+//! [`PopBottomMode::SignalSafe`] implements the paper's fix: decrement `bot`
+//! first, then compare with `public_bot` (`--bot < public_bot`), with
+//! `pop_public_bottom` resetting `bot ← 0` when it finds `public_bot == 0`.
+//! One extra guard not spelled out in the listing: when `bot == 0` the
+//! deque is provably empty (`public ⊆ [0, bot)`), and the unsigned
+//! decrement of the listing would wrap — we return `None` before
+//! decrementing, which no handler interleaving can invalidate because the
+//! handler never modifies `bot` and never exposes past it.
+
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+
+use crossbeam_utils::CachePadded;
+use lcws_metrics as metrics;
+
+#[cfg(test)]
+use crate::age::Age;
+use crate::age::AtomicAge;
+use crate::deque::Steal;
+use crate::job::Job;
+
+/// How the owner's `pop_bottom` guards against concurrent exposure from a
+/// signal handler (paper §4, "A Subtlety in the Signal-Based
+/// Implementation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopBottomMode {
+    /// Listing 2 line 7: compare *then* decrement. Correct when exposures
+    /// only happen at the owner's own scheduling points (WS-style polling,
+    /// USLCWS) or when exposure always leaves the bottom task private
+    /// (Conservative Exposure, §4.1.1).
+    Standard,
+    /// §4: decrement *then* compare (`--bot < public_bot`). Required when a
+    /// signal handler may expose the task `pop_bottom` is about to take
+    /// (base signal implementation and Expose Half).
+    SignalSafe,
+}
+
+/// How many private tasks `update_public_bottom` transfers to the public
+/// part when a work-exposure request is handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExposurePolicy {
+    /// Expose the top-most private task (Listing 2 line 41; base LCWS).
+    One,
+    /// §4.1.1: expose one task only while **two or more** private tasks
+    /// remain (`public_bot + 1 < bot`), so the bottom-most task can never
+    /// become public under the owner's feet and `Standard` pop stays safe.
+    Conservative,
+    /// §4.1.2: with `r ≥ 3` private tasks expose `round(r/2)` of them,
+    /// otherwise at most one. Rounding uses the Lua-inspired
+    /// [`double2int`] bit trick the paper adopted after `std::round`
+    /// proved an order of magnitude too slow.
+    Half,
+}
+
+/// The Lua `lua_number2int`-style float-to-int conversion used by the
+/// Expose Half variant (§4.1.2, "Implementation Details").
+///
+/// Adding `1.5 * 2^52` forces the value into the mantissa range where the
+/// low 32 bits of the IEEE-754 representation *are* the rounded integer
+/// (round-to-nearest-even, like the hardware default mode the paper runs
+/// under). Valid for `0 ≤ r < 2^31`, far beyond any deque size.
+#[inline]
+pub fn double2int(r: f64) -> i32 {
+    const MAGIC: f64 = 6755399441055744.0; // 1.5 * 2^52
+    (r + MAGIC).to_bits() as i32
+}
+
+/// The split deque (Listing 2). One per worker; the worker is the only
+/// caller of `push_bottom` / `pop_bottom` / `pop_public_bottom` /
+/// `update_public_bottom`, while any thief may call `pop_top` /
+/// `has_two_tasks` / `is_public_empty`.
+pub struct SplitDeque {
+    /// Packed `{tag, top}` guarding the public part's top end.
+    age: CachePadded<AtomicAge>,
+    /// One past the bottom-most public task; the private part starts here.
+    public_bot: CachePadded<AtomicU32>,
+    /// One past the bottom-most task overall (owner-local).
+    bot: CachePadded<AtomicU32>,
+    /// Task slots.
+    slots: Box<[AtomicPtr<Job>]>,
+}
+
+// Job pointers are handed off between threads with deque ownership-transfer
+// discipline; the deque itself contains only atomics.
+unsafe impl Send for SplitDeque {}
+unsafe impl Sync for SplitDeque {}
+
+impl SplitDeque {
+    /// Create a deque with `capacity` slots (`capacity < 2^32`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0 && capacity < u32::MAX as usize);
+        let slots = (0..capacity)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        SplitDeque {
+            age: CachePadded::new(AtomicAge::new()),
+            public_bot: CachePadded::new(AtomicU32::new(0)),
+            bot: CachePadded::new(AtomicU32::new(0)),
+            slots,
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Owner: push a task at the bottom. Synchronization-free (Listing 2
+    /// line 5): one plain store of the slot, one plain store of `bot`.
+    ///
+    /// Panics if the deque is full.
+    #[inline]
+    pub fn push_bottom(&self, task: *mut Job) {
+        let b = self.bot.load(Ordering::Relaxed);
+        assert!(
+            (b as usize) < self.slots.len(),
+            "split deque overflow (capacity {}); raise PoolBuilder::deque_capacity",
+            self.slots.len()
+        );
+        self.slots[b as usize].store(task, Ordering::Relaxed);
+        self.bot.store(b + 1, Ordering::Relaxed);
+        metrics::bump(metrics::Counter::Push);
+    }
+
+    /// Owner: pop the bottom-most **private** task. Synchronization-free.
+    ///
+    /// Returns `None` when the private part is empty; the caller should then
+    /// try [`SplitDeque::pop_public_bottom`].
+    #[inline]
+    pub fn pop_bottom(&self, mode: PopBottomMode) -> Option<*mut Job> {
+        match mode {
+            PopBottomMode::Standard => {
+                // Listing 2 line 7: `bot == public_bot ? nullptr : deq[--bot]`.
+                let b = self.bot.load(Ordering::Relaxed);
+                let pb = self.public_bot.load(Ordering::Relaxed);
+                if b == pb {
+                    return None;
+                }
+                let b1 = b - 1;
+                self.bot.store(b1, Ordering::Relaxed);
+                let task = self.slots[b1 as usize].load(Ordering::Relaxed);
+                metrics::bump(metrics::Counter::LocalPop);
+                Some(task)
+            }
+            PopBottomMode::SignalSafe => {
+                // §4: `--bot < public_bot ? nullptr : deq[bot]`, plus the
+                // empty-deque guard discussed in the module docs.
+                let b = self.bot.load(Ordering::Relaxed);
+                if b == 0 {
+                    return None;
+                }
+                let b1 = b - 1;
+                self.bot.store(b1, Ordering::Relaxed);
+                if b1 < self.public_bot.load(Ordering::Relaxed) {
+                    // A handler exposed the task under us; it is now public
+                    // and must be taken via pop_public_bottom (which also
+                    // repairs `bot`).
+                    return None;
+                }
+                let task = self.slots[b1 as usize].load(Ordering::Relaxed);
+                metrics::bump(metrics::Counter::LocalPop);
+                Some(task)
+            }
+        }
+    }
+
+    /// Owner: pop the bottom-most task of the **public** part (Listing 2
+    /// lines 9–29, with the §4 `bot ← 0` reset when `public_bot == 0`).
+    ///
+    /// Pays the paper's two seq-cst fences, and a CAS when racing thieves
+    /// for the last public task.
+    pub fn pop_public_bottom(&self) -> Option<*mut Job> {
+        let pb0 = self.public_bot.load(Ordering::Relaxed);
+        if pb0 == 0 {
+            // §4 modification: repair `bot` (the SignalSafe pop_bottom may
+            // have left it decremented below a now-empty deque).
+            self.bot.store(0, Ordering::Relaxed);
+            return None;
+        }
+        let pb = pb0 - 1;
+        self.public_bot.store(pb, Ordering::Relaxed);
+        // Fence #1 (Listing 2 line 12): publish the decrement to thieves and
+        // read an up-to-date `age`.
+        metrics::fence_seq_cst();
+        let task = self.slots[pb as usize].load(Ordering::Relaxed);
+        let old_age = self.age.load(Ordering::Relaxed);
+        if pb > old_age.top {
+            // More than one public task remained: the bottom-most one is
+            // ours without contention. Private part is empty here (this
+            // method is only called when pop_bottom failed), so `bot`
+            // follows the boundary.
+            self.bot.store(pb, Ordering::Relaxed);
+            metrics::bump(metrics::Counter::OwnerPublicPop);
+            return Some(task);
+        }
+        // At most one public task remains and thieves may be racing for it:
+        // reset the deque and fight for the task with a CAS.
+        self.bot.store(0, Ordering::Relaxed);
+        let new_age = old_age.reset();
+        let local_bot = pb;
+        self.public_bot.store(0, Ordering::Relaxed);
+        let won = if local_bot == old_age.top {
+            metrics::record_cas();
+            self.age
+                .compare_exchange(old_age, new_age, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        } else {
+            false
+        };
+        let result = if won {
+            metrics::bump(metrics::Counter::OwnerPublicPop);
+            Some(task)
+        } else {
+            // A thief took it (or top had already moved past us): make the
+            // reset visible and report empty.
+            self.age.store(new_age, Ordering::Relaxed);
+            None
+        };
+        // Fence #2 (Listing 2 line 27): thieves must not observe the new
+        // `age` together with the old `public_bot`, which could double-run
+        // a task.
+        metrics::fence_seq_cst();
+        result
+    }
+
+    /// Thief: try to steal the top-most public task (Listing 2 lines 30–40).
+    ///
+    /// Note: the listing's final line reads
+    /// `(public_bot < bot) ? nullptr : PRIVATE_WORK`, which inverts the
+    /// semantics §3.2 specifies ("if only the public part is empty it
+    /// returns PRIVATE_WORK"); we implement the specified semantics.
+    pub fn pop_top(&self) -> Steal {
+        metrics::bump(metrics::Counter::StealAttempt);
+        let old_age = self.age.load(Ordering::Acquire);
+        let pb = self.public_bot.load(Ordering::Acquire);
+        if pb > old_age.top {
+            let task = self.slots[old_age.top as usize].load(Ordering::Relaxed);
+            let new_age = old_age.with_top_incremented();
+            metrics::record_cas();
+            if self
+                .age
+                .compare_exchange(old_age, new_age, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                metrics::bump(metrics::Counter::StealOk);
+                return Steal::Ok(task);
+            }
+            return Steal::Abort;
+        }
+        // Public part empty: report whether private work exists so the thief
+        // can request exposure. `bot` is an owner-local field read racily —
+        // a stale value only costs a wasted notification or a retry.
+        if pb < self.bot.load(Ordering::Relaxed) {
+            metrics::bump(metrics::Counter::StealPrivate);
+            Steal::PrivateWork
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Owner (possibly from a signal handler): transfer private tasks to the
+    /// public part according to `policy`. Returns how many were exposed.
+    ///
+    /// Async-signal-safe: relaxed/release atomics and TLS counter bumps
+    /// only.
+    pub fn update_public_bottom(&self, policy: ExposurePolicy) -> u32 {
+        let b = self.bot.load(Ordering::Relaxed);
+        let pb = self.public_bot.load(Ordering::Relaxed);
+        let exposed = match policy {
+            ExposurePolicy::One => {
+                if pb < b {
+                    1
+                } else {
+                    0
+                }
+            }
+            ExposurePolicy::Conservative => {
+                // Expose only while ≥ 2 private tasks remain, so the task at
+                // `bot - 1` can never become public (keeps Standard
+                // pop_bottom race-free).
+                if pb + 1 < b {
+                    1
+                } else {
+                    0
+                }
+            }
+            ExposurePolicy::Half => {
+                let r = b.saturating_sub(pb);
+                if r >= 3 {
+                    double2int(r as f64 / 2.0) as u32
+                } else if r >= 1 {
+                    1
+                } else {
+                    0
+                }
+            }
+        };
+        if exposed > 0 {
+            debug_assert!(pb + exposed <= b);
+            // Release pairs with the Acquire in pop_top so thieves see the
+            // slot contents before the moved boundary.
+            self.public_bot.store(pb + exposed, Ordering::Release);
+            metrics::bump_by(metrics::Counter::Exposure, exposed as u64);
+        }
+        exposed
+    }
+
+    /// Thief-side heuristic for the Conservative variant's notification
+    /// condition (§4.1.1): does the victim hold at least two tasks?
+    #[inline]
+    pub fn has_two_tasks(&self) -> bool {
+        let b = self.bot.load(Ordering::Relaxed);
+        let top = self.age.load(Ordering::Relaxed).top;
+        b.saturating_sub(top) >= 2
+    }
+
+    /// Number of tasks currently in the private part (owner-accurate,
+    /// racy for other threads).
+    pub fn private_len(&self) -> u32 {
+        let b = self.bot.load(Ordering::Relaxed);
+        let pb = self.public_bot.load(Ordering::Relaxed);
+        b.saturating_sub(pb)
+    }
+
+    /// Number of tasks currently in the public part (racy).
+    pub fn public_len(&self) -> u32 {
+        let pb = self.public_bot.load(Ordering::Relaxed);
+        let top = self.age.load(Ordering::Relaxed).top;
+        pb.saturating_sub(top)
+    }
+
+    /// Is the deque observably empty (racy)?
+    pub fn is_empty(&self) -> bool {
+        let b = self.bot.load(Ordering::Relaxed);
+        let top = self.age.load(Ordering::Relaxed).top;
+        b <= top
+    }
+
+    #[cfg(test)]
+    pub(crate) fn raw_indices(&self) -> (u32, u32, Age) {
+        (
+            self.bot.load(Ordering::Relaxed),
+            self.public_bot.load(Ordering::Relaxed),
+            self.age.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(n: usize) -> *mut Job {
+        n as *mut Job // opaque non-null cookie; never dereferenced here
+    }
+
+    #[test]
+    fn double2int_matches_round_to_nearest_even() {
+        assert_eq!(double2int(0.0), 0);
+        assert_eq!(double2int(1.0), 1);
+        assert_eq!(double2int(1.49), 1);
+        assert_eq!(double2int(1.5), 2); // ties to even
+        assert_eq!(double2int(2.5), 2); // ties to even
+        assert_eq!(double2int(3.5), 4);
+        assert_eq!(double2int(1234567.4), 1234567);
+        for r in 0..1000u32 {
+            let x = r as f64 / 2.0;
+            let expected = {
+                // round-half-to-even reference
+                let fl = x.floor();
+                if x - fl == 0.5 {
+                    if (fl as i64) % 2 == 0 {
+                        fl as i32
+                    } else {
+                        fl as i32 + 1
+                    }
+                } else {
+                    x.round() as i32
+                }
+            };
+            assert_eq!(double2int(x), expected, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn push_pop_lifo_private() {
+        let d = SplitDeque::new(16);
+        for i in 1..=5 {
+            d.push_bottom(job(i));
+        }
+        for i in (1..=5).rev() {
+            assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(i)));
+        }
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), None);
+        assert_eq!(d.pop_bottom(PopBottomMode::SignalSafe), None);
+    }
+
+    #[test]
+    fn steal_requires_exposure() {
+        let d = SplitDeque::new(16);
+        d.push_bottom(job(1));
+        d.push_bottom(job(2));
+        // Nothing public yet: thief sees PRIVATE_WORK.
+        assert_eq!(d.pop_top(), Steal::PrivateWork);
+        assert_eq!(d.update_public_bottom(ExposurePolicy::One), 1);
+        // Thieves steal from the top: oldest task first.
+        assert_eq!(d.pop_top(), Steal::Ok(job(1)));
+        assert_eq!(d.pop_top(), Steal::PrivateWork);
+        // Owner still holds task 2 privately.
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(2)));
+        assert_eq!(d.pop_top(), Steal::Empty);
+    }
+
+    #[test]
+    fn owner_reclaims_exposed_work_via_public_pop() {
+        let d = SplitDeque::new(16);
+        d.push_bottom(job(1));
+        d.push_bottom(job(2));
+        d.update_public_bottom(ExposurePolicy::One);
+        d.update_public_bottom(ExposurePolicy::One);
+        // All work public: private pop fails, public pop succeeds
+        // bottom-first (task 2 then task 1).
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), None);
+        assert_eq!(d.pop_public_bottom(), Some(job(2)));
+        assert_eq!(d.pop_public_bottom(), Some(job(1)));
+        assert_eq!(d.pop_public_bottom(), None);
+        let (bot, pb, age) = d.raw_indices();
+        assert_eq!((bot, pb), (0, 0));
+        assert_eq!(age.top, 0);
+        assert!(age.tag >= 1, "reset path bumps the ABA tag");
+    }
+
+    #[test]
+    fn conservative_exposure_keeps_last_task_private() {
+        let d = SplitDeque::new(16);
+        d.push_bottom(job(1));
+        assert_eq!(d.update_public_bottom(ExposurePolicy::Conservative), 0);
+        d.push_bottom(job(2));
+        assert_eq!(d.update_public_bottom(ExposurePolicy::Conservative), 1);
+        // Only one private task left now: no further exposure.
+        assert_eq!(d.update_public_bottom(ExposurePolicy::Conservative), 0);
+        assert_eq!(d.private_len(), 1);
+        assert_eq!(d.public_len(), 1);
+    }
+
+    #[test]
+    fn half_exposure_amounts() {
+        let d = SplitDeque::new(64);
+        // r = 1 → expose 1.
+        d.push_bottom(job(1));
+        assert_eq!(d.update_public_bottom(ExposurePolicy::Half), 1);
+        // r = 2 → expose 1.
+        d.push_bottom(job(2));
+        d.push_bottom(job(3));
+        assert_eq!(d.update_public_bottom(ExposurePolicy::Half), 1);
+        // r = 7 → round(3.5) = 4.
+        for i in 4..=9 {
+            d.push_bottom(job(i));
+        }
+        assert_eq!(d.private_len(), 7);
+        assert_eq!(d.update_public_bottom(ExposurePolicy::Half), 4);
+        // r = 3 → round(1.5) = 2 (ties to even).
+        assert_eq!(d.private_len(), 3);
+        assert_eq!(d.update_public_bottom(ExposurePolicy::Half), 2);
+    }
+
+    #[test]
+    fn signal_safe_pop_with_exposure_interleaving() {
+        // Reproduce the §4 race resolution: one private task, exposure
+        // "arrives" before the owner's comparison.
+        let d = SplitDeque::new(16);
+        d.push_bottom(job(1));
+        // Handler exposes the only task.
+        assert_eq!(d.update_public_bottom(ExposurePolicy::One), 1);
+        // Owner's signal-safe pop must NOT return the now-public task...
+        assert_eq!(d.pop_bottom(PopBottomMode::SignalSafe), None);
+        // ...but pop_public_bottom retrieves it and repairs the indices.
+        assert_eq!(d.pop_public_bottom(), Some(job(1)));
+        assert_eq!(d.pop_public_bottom(), None);
+        let (bot, pb, _) = d.raw_indices();
+        assert_eq!((bot, pb), (0, 0));
+    }
+
+    #[test]
+    fn empty_deque_signal_safe_pop_does_not_underflow() {
+        let d = SplitDeque::new(4);
+        assert_eq!(d.pop_bottom(PopBottomMode::SignalSafe), None);
+        assert_eq!(d.pop_public_bottom(), None);
+        // Deque stays usable.
+        d.push_bottom(job(9));
+        assert_eq!(d.pop_bottom(PopBottomMode::SignalSafe), Some(job(9)));
+    }
+
+    #[test]
+    fn pop_public_bottom_repairs_bot_after_signal_safe_miss() {
+        // SignalSafe pop decrements bot even when it returns None; the §4
+        // modification makes pop_public_bottom reset bot when public_bot==0.
+        let d = SplitDeque::new(16);
+        d.push_bottom(job(1));
+        d.update_public_bottom(ExposurePolicy::One);
+        // Thief steals the exposed task.
+        assert_eq!(d.pop_top(), Steal::Ok(job(1)));
+        // Owner pops: private empty (bot decremented to 0 by the miss path
+        // or by the compare), then public pop resets cleanly.
+        assert_eq!(d.pop_bottom(PopBottomMode::SignalSafe), None);
+        assert_eq!(d.pop_public_bottom(), None);
+        let (bot, pb, _) = d.raw_indices();
+        assert_eq!((bot, pb), (0, 0));
+        d.push_bottom(job(2));
+        assert_eq!(d.pop_bottom(PopBottomMode::SignalSafe), Some(job(2)));
+    }
+
+    #[test]
+    fn steal_race_on_last_public_task_has_single_winner() {
+        // Owner and a simulated thief race for the single public task; the
+        // CAS protocol must hand it to exactly one of them.
+        for owner_first in [false, true] {
+            let d = SplitDeque::new(16);
+            d.push_bottom(job(7));
+            d.update_public_bottom(ExposurePolicy::One);
+            if owner_first {
+                assert_eq!(d.pop_public_bottom(), Some(job(7)));
+                assert!(matches!(d.pop_top(), Steal::Empty | Steal::Abort));
+            } else {
+                assert_eq!(d.pop_top(), Steal::Ok(job(7)));
+                assert_eq!(d.pop_public_bottom(), None);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn push_past_capacity_panics() {
+        let d = SplitDeque::new(2);
+        d.push_bottom(job(1));
+        d.push_bottom(job(2));
+        d.push_bottom(job(3));
+    }
+
+    #[test]
+    fn concurrent_steal_stress_no_loss_no_duplication() {
+        // One owner exposing and popping, three thieves stealing; every
+        // pushed cookie must be taken exactly once.
+        use std::collections::HashSet;
+        use std::sync::atomic::{AtomicBool, AtomicUsize};
+        use std::sync::Mutex;
+
+        const N: usize = 2000;
+        let d = SplitDeque::new(N + 1);
+        let taken = Mutex::new(Vec::<usize>::new());
+        let stolen_count = AtomicUsize::new(0);
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        match d.pop_top() {
+                            Steal::Ok(j) => local.push(j as usize),
+                            _ => std::hint::spin_loop(),
+                        }
+                    }
+                    // Final drain.
+                    loop {
+                        match d.pop_top() {
+                            Steal::Ok(j) => local.push(j as usize),
+                            Steal::Abort => continue,
+                            _ => break,
+                        }
+                    }
+                    stolen_count.fetch_add(local.len(), Ordering::Relaxed);
+                    taken.lock().unwrap().extend(local);
+                });
+            }
+            // Owner thread.
+            let mut local = Vec::new();
+            for i in 1..=N {
+                d.push_bottom(job(i));
+                if i % 3 == 0 {
+                    d.update_public_bottom(ExposurePolicy::One);
+                }
+                if i % 5 == 0 {
+                    if let Some(j) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                        local.push(j as usize);
+                    } else if let Some(j) = d.pop_public_bottom() {
+                        local.push(j as usize);
+                    }
+                }
+            }
+            // Drain everything the owner still holds.
+            loop {
+                if let Some(j) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                    local.push(j as usize);
+                } else if let Some(j) = d.pop_public_bottom() {
+                    local.push(j as usize);
+                } else {
+                    break;
+                }
+            }
+            done.store(true, Ordering::Release);
+            taken.lock().unwrap().extend(local);
+        });
+
+        let all = taken.into_inner().unwrap();
+        let set: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "a task was executed twice");
+        assert_eq!(set.len(), N, "a task was lost");
+        assert!(set.iter().all(|&v| (1..=N).contains(&v)));
+    }
+}

@@ -1,0 +1,385 @@
+//! The scheduler thread pool: one deque per worker, epoch-based run
+//! lifecycle, and metrics collection at quiescence.
+//!
+//! Execution model (mirrors Parlay): the pool owns `P − 1` helper threads;
+//! the thread calling [`ThreadPool::run`] becomes worker 0 for the duration
+//! of the call. Helpers park between runs and spin-steal (with yields)
+//! during them. A run finishes when the root closure returns — fork-join
+//! semantics guarantee every transitively spawned task has completed by
+//! then — after which helpers flush their synchronization counters and
+//! quiesce before `run` returns, so [`ThreadPool::metrics`] is exact.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_utils::CachePadded;
+use lcws_metrics::{Collector, Snapshot};
+use parking_lot::{Condvar, Mutex};
+
+use crate::deque::{AbpDeque, SplitDeque, DEFAULT_DEQUE_CAPACITY};
+use crate::signal;
+use crate::variant::Variant;
+use crate::worker::{current_ctx, WorkerCtx};
+
+/// A worker's deque: ABP for the WS baseline, split for every LCWS variant.
+pub(crate) enum AnyDeque {
+    Abp(AbpDeque),
+    Split(SplitDeque),
+}
+
+/// Shared, cross-thread-visible state of one worker slot.
+pub(crate) struct WorkerShared {
+    pub(crate) deque: AnyDeque,
+    /// The paper's `targeted` flag (one per processor).
+    pub(crate) targeted: CachePadded<AtomicBool>,
+    /// pthread handle for `pthread_kill` notifications; registered before
+    /// the worker can be targeted.
+    pub(crate) pthread: AtomicU64,
+}
+
+impl WorkerShared {
+    fn new(variant: Variant, capacity: usize) -> WorkerShared {
+        let deque = if variant.uses_split_deque() {
+            AnyDeque::Split(SplitDeque::new(capacity))
+        } else {
+            AnyDeque::Abp(AbpDeque::new(capacity))
+        };
+        WorkerShared {
+            deque,
+            targeted: CachePadded::new(AtomicBool::new(false)),
+            pthread: AtomicU64::new(0),
+        }
+    }
+}
+
+/// State shared between the pool handle and its worker threads.
+pub(crate) struct PoolInner {
+    pub(crate) variant: Variant,
+    pub(crate) workers: Box<[WorkerShared]>,
+    pub(crate) collector: Arc<Collector>,
+    /// Run generation; bumped (under `sync`) to start a run.
+    epoch: AtomicU64,
+    /// Last completed generation; helpers exit their work loop when it
+    /// reaches their current generation.
+    done_epoch: AtomicU64,
+    /// Helpers still inside the work loop of the current generation.
+    active: AtomicUsize,
+    /// Helpers that finished their prologue (pthread registration).
+    ready: AtomicUsize,
+    shutdown: AtomicBool,
+    sync: Mutex<()>,
+    start_cv: Condvar,
+    quiesce_cv: Condvar,
+}
+
+/// Builder for [`ThreadPool`].
+#[derive(Debug, Clone)]
+pub struct PoolBuilder {
+    variant: Variant,
+    threads: Option<usize>,
+    deque_capacity: usize,
+}
+
+impl PoolBuilder {
+    /// Start building a pool for the given scheduler variant.
+    pub fn new(variant: Variant) -> PoolBuilder {
+        PoolBuilder {
+            variant,
+            threads: None,
+            deque_capacity: DEFAULT_DEQUE_CAPACITY,
+        }
+    }
+
+    /// Total number of workers, including the caller of `run` (≥ 1).
+    /// Defaults to the machine's available parallelism.
+    pub fn threads(mut self, threads: usize) -> PoolBuilder {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Per-worker deque capacity in slots.
+    pub fn deque_capacity(mut self, capacity: usize) -> PoolBuilder {
+        self.deque_capacity = capacity;
+        self
+    }
+
+    /// Spawn the helper threads and return the pool.
+    pub fn build(self) -> ThreadPool {
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        if self.variant.uses_signals() {
+            signal::install_handler();
+        }
+        let workers = (0..threads)
+            .map(|_| WorkerShared::new(self.variant, self.deque_capacity))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let inner = Arc::new(PoolInner {
+            variant: self.variant,
+            workers,
+            collector: Collector::new(),
+            epoch: AtomicU64::new(0),
+            done_epoch: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            ready: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sync: Mutex::new(()),
+            start_cv: Condvar::new(),
+            quiesce_cv: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|index| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("lcws-{}-{index}", self.variant.name()))
+                    .spawn(move || worker_main(inner, index))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        // Wait until every helper registered its pthread handle, so the
+        // first run can already signal any victim safely.
+        while inner.ready.load(Ordering::Acquire) != threads - 1 {
+            std::thread::yield_now();
+        }
+        ThreadPool {
+            inner,
+            handles,
+            run_lock: Mutex::new(()),
+        }
+    }
+}
+
+/// A work-stealing thread pool running one of the paper's five schedulers.
+///
+/// ```
+/// use lcws_core::{PoolBuilder, Variant};
+///
+/// let pool = PoolBuilder::new(Variant::Signal).threads(4).build();
+/// let total: u64 = pool.run(|| {
+///     let (a, b) = lcws_core::join(|| (0..500u64).sum::<u64>(),
+///                                  || (500..1000u64).sum::<u64>());
+///     a + b
+/// });
+/// assert_eq!(total, (0..1000u64).sum());
+/// ```
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes `run` calls from different threads.
+    run_lock: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// Convenience constructor: `variant` scheduler with `threads` workers.
+    pub fn new(variant: Variant, threads: usize) -> ThreadPool {
+        PoolBuilder::new(variant).threads(threads).build()
+    }
+
+    /// The scheduler variant this pool runs.
+    pub fn variant(&self) -> Variant {
+        self.inner.variant
+    }
+
+    /// Number of workers (including the `run` caller).
+    pub fn num_workers(&self) -> usize {
+        self.inner.workers.len()
+    }
+
+    /// Execute `f` on the pool: the calling thread becomes worker 0 and
+    /// `f` may freely use [`crate::join`], [`crate::par_for`] and
+    /// [`crate::scope`]. Returns once every transitively spawned task has
+    /// completed and all helpers have quiesced.
+    ///
+    /// Panics from `f` (or any spawned task, propagated through the
+    /// fork-join structure) resume on the caller after quiescence.
+    ///
+    /// Resets the pool's metrics collector, so [`ThreadPool::metrics`]
+    /// afterwards reflects exactly this run.
+    pub fn run<F, T>(&self, f: F) -> T
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        assert!(
+            current_ctx().is_null(),
+            "ThreadPool::run may not be nested inside a pool run"
+        );
+        let _serial = self.run_lock.lock();
+        let pool = &*self.inner;
+        lcws_metrics::touch();
+        lcws_metrics::reset_local();
+        pool.collector.reset();
+        pool.workers[0]
+            .pthread
+            .store(signal::current_pthread() as u64, Ordering::Release);
+
+        // Open the generation (under the lock to avoid lost wakeups).
+        {
+            let _g = pool.sync.lock();
+            pool.active
+                .store(pool.workers.len() - 1, Ordering::Release);
+            pool.epoch.fetch_add(1, Ordering::AcqRel);
+            pool.start_cv.notify_all();
+        }
+
+        let ctx = WorkerCtx::new(pool, 0);
+        let result = {
+            let _guard = ctx.install();
+            panic::catch_unwind(AssertUnwindSafe(f))
+        };
+
+        // Close the generation and wait for helpers to drain out.
+        pool.done_epoch
+            .store(pool.epoch.load(Ordering::Acquire), Ordering::Release);
+        lcws_metrics::flush_into(&pool.collector);
+        {
+            let mut g = pool.sync.lock();
+            while pool.active.load(Ordering::Acquire) != 0 {
+                pool.quiesce_cv.wait(&mut g);
+            }
+        }
+        match result {
+            Ok(v) => v,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Run `f` and return its result together with the synchronization
+    /// profile of the run (the paper's Figure 3/8 quantities).
+    pub fn run_measured<F, T>(&self, f: F) -> (T, Snapshot)
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        let value = self.run(f);
+        (value, self.metrics())
+    }
+
+    /// Synchronization counters of the most recent completed run.
+    pub fn metrics(&self) -> Snapshot {
+        self.inner.collector.snapshot()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let _g = self.inner.sync.lock();
+            self.inner.shutdown.store(true, Ordering::Release);
+            self.inner.start_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("variant", &self.inner.variant)
+            .field("workers", &self.inner.workers.len())
+            .finish()
+    }
+}
+
+fn worker_main(pool: Arc<PoolInner>, index: usize) {
+    lcws_metrics::touch();
+    pool.workers[index]
+        .pthread
+        .store(signal::current_pthread() as u64, Ordering::Release);
+    let ctx = WorkerCtx::new(&pool, index);
+    let _guard = ctx.install();
+    pool.ready.fetch_add(1, Ordering::AcqRel);
+
+    let mut seen = 0u64;
+    loop {
+        // Park until a new generation opens (or shutdown).
+        {
+            let mut g = pool.sync.lock();
+            loop {
+                if pool.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let e = pool.epoch.load(Ordering::Acquire);
+                if e > seen {
+                    seen = e;
+                    break;
+                }
+                pool.start_cv.wait(&mut g);
+            }
+        }
+        let generation = seen;
+        ctx.work_until(&|| pool.done_epoch.load(Ordering::Acquire) >= generation);
+        lcws_metrics::flush_into(&pool.collector);
+        if pool.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = pool.sync.lock();
+            pool.quiesce_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_builds_and_drops_for_every_variant() {
+        for v in Variant::ALL {
+            let pool = ThreadPool::new(v, 3);
+            assert_eq!(pool.num_workers(), 3);
+            assert_eq!(pool.variant(), v);
+        }
+    }
+
+    #[test]
+    fn run_returns_value_single_worker() {
+        let pool = ThreadPool::new(Variant::Ws, 1);
+        assert_eq!(pool.run(|| 2 + 2), 4);
+    }
+
+    #[test]
+    fn sequential_runs_reuse_workers() {
+        let pool = ThreadPool::new(Variant::Signal, 4);
+        for i in 0..20 {
+            assert_eq!(pool.run(move || i * 2), i * 2);
+        }
+    }
+
+    #[test]
+    fn run_propagates_panic_and_pool_survives() {
+        let pool = ThreadPool::new(Variant::UsLcws, 2);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|| panic!("root panic"));
+        }));
+        assert!(caught.is_err());
+        // Pool still usable.
+        assert_eq!(pool.run(|| 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = PoolBuilder::new(Variant::Ws).threads(0).build();
+    }
+
+    #[test]
+    fn metrics_reset_between_runs() {
+        let pool = ThreadPool::new(Variant::Ws, 2);
+        let (_, m1) = pool.run_measured(|| {
+            crate::join(|| (), || ());
+        });
+        assert!(m1.tasks_run() >= 1, "the forked job counts as a task");
+        let (_, m2) = pool.run_measured(|| 0);
+        assert!(
+            m2.tasks_run() <= m1.tasks_run(),
+            "second run must not inherit first run's counters"
+        );
+    }
+}

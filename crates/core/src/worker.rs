@@ -1,0 +1,334 @@
+//! Per-worker scheduling logic: Listing 1's `get_task` (split into a local
+//! acquisition step and a one-victim steal step), the Listing 3 notification
+//! rules, and the fork-join `join` primitive built on top of them.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::ptr;
+use std::sync::atomic::Ordering;
+
+use lcws_metrics as metrics;
+use lcws_metrics::Counter;
+
+use crate::deque::Steal;
+use crate::job::{Job, StackJob};
+use crate::pool::{AnyDeque, PoolInner, WorkerShared};
+use crate::signal::{self, HandlerCtx};
+use crate::variant::Variant;
+
+thread_local! {
+    /// The worker context of the current thread, when it participates in a
+    /// pool run (workers for the pool's lifetime; the caller thread for the
+    /// duration of each `run`).
+    static CURRENT: Cell<*const WorkerCtx> = const { Cell::new(ptr::null()) };
+}
+
+/// The current thread's worker context, or null outside pool runs.
+pub(crate) fn current_ctx() -> *const WorkerCtx {
+    CURRENT.with(|c| c.get())
+}
+
+/// Per-thread scheduling state. Lives at a stable address (worker stack
+/// frame) while installed into TLS.
+pub(crate) struct WorkerCtx {
+    pool: *const PoolInner,
+    index: usize,
+    rng: Cell<u64>,
+    /// Signal-handler context pointing at this worker's split deque; armed
+    /// only for the signal-based variants.
+    handler_ctx: HandlerCtx,
+}
+
+impl WorkerCtx {
+    pub(crate) fn new(pool: &PoolInner, index: usize) -> WorkerCtx {
+        let deque = match &pool.workers[index].deque {
+            AnyDeque::Split(d) => d as *const _,
+            AnyDeque::Abp(_) => ptr::null(),
+        };
+        // Distinct, never-zero RNG seed per worker (SplitMix64 of index+1).
+        let mut z = (index as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        WorkerCtx {
+            pool,
+            index,
+            rng: Cell::new(z | 1),
+            handler_ctx: HandlerCtx {
+                deque,
+                policy: pool.variant.exposure_policy(),
+            },
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pool(&self) -> &PoolInner {
+        // Safety: the pool outlives every installed ctx (workers are joined
+        // before PoolInner drops; run() clears the caller's ctx on exit).
+        unsafe { &*self.pool }
+    }
+
+    #[inline]
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
+    #[inline]
+    fn variant(&self) -> Variant {
+        self.pool().variant
+    }
+
+    #[inline]
+    fn shared(&self) -> &WorkerShared {
+        &self.pool().workers[self.index]
+    }
+
+    /// Install this context into TLS (and arm the signal handler context
+    /// for signal-based variants). The returned guard restores the previous
+    /// state on drop, including during unwinding.
+    pub(crate) fn install(&self) -> CtxGuard<'_> {
+        CURRENT.with(|c| {
+            debug_assert!(c.get().is_null(), "nested worker ctx installation");
+            c.set(self as *const WorkerCtx);
+        });
+        if self.variant().uses_signals() {
+            // Safety: `self` outlives the guard, which disarms on drop.
+            unsafe { signal::set_handler_ctx(&self.handler_ctx) };
+        }
+        CtxGuard { ctx: self }
+    }
+
+    /// Uniformly random victim index ≠ self (xorshift64*; never called with
+    /// fewer than two workers).
+    fn random_victim(&self, num_workers: usize) -> usize {
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        let r = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % (num_workers as u64 - 1)) as usize;
+        if r >= self.index {
+            r + 1
+        } else {
+            r
+        }
+    }
+
+    /// Push a job at the bottom of this worker's deque.
+    ///
+    /// For the signal variants, pushing new work re-enables notifications
+    /// (§4: the `targeted` flag "is only reset to false when a task is
+    /// removed from the deque's public part or the target processor pushes
+    /// a new task").
+    pub(crate) fn push_job(&self, job: *mut Job) {
+        let w = self.shared();
+        match &w.deque {
+            AnyDeque::Abp(d) => d.push_bottom(job),
+            AnyDeque::Split(d) => {
+                d.push_bottom(job);
+                if self.variant().uses_signals() && w.targeted.load(Ordering::Relaxed) {
+                    w.targeted.store(false, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Listing 1 lines 7–17: take a task from this worker's own deque,
+    /// performing the per-variant `targeted`-flag bookkeeping.
+    pub(crate) fn acquire_local(&self) -> Option<*mut Job> {
+        let w = self.shared();
+        match &w.deque {
+            AnyDeque::Abp(d) => d.pop_bottom(),
+            AnyDeque::Split(d) => {
+                let variant = self.variant();
+                if let Some(task) = d.pop_bottom(variant.pop_bottom_mode()) {
+                    // USLCWS handles exposure requests here — at task
+                    // granularity, which is exactly why it loses the
+                    // constant-time-exposure guarantee (§3).
+                    if variant == Variant::UsLcws && w.targeted.load(Ordering::Relaxed) {
+                        w.targeted.store(false, Ordering::Relaxed);
+                        metrics::bump(Counter::ExposureRequest);
+                        d.update_public_bottom(variant.exposure_policy());
+                    }
+                    return Some(task);
+                }
+                if let Some(task) = d.pop_public_bottom() {
+                    // A task left the public part: allow fresh notifications.
+                    if variant.uses_signals() {
+                        w.targeted.store(false, Ordering::Relaxed);
+                    }
+                    return Some(task);
+                }
+                if variant == Variant::UsLcws {
+                    // Listing 1 line 17.
+                    w.targeted.store(false, Ordering::Relaxed);
+                }
+                None
+            }
+        }
+    }
+
+    /// One iteration of the stealing phase (Listing 1 lines 20–23 /
+    /// Listing 3): pick a random victim, try to steal, and send the
+    /// per-variant work-exposure notification on `PRIVATE_WORK`.
+    pub(crate) fn steal_once(&self) -> Option<*mut Job> {
+        let pool = self.pool();
+        let p = pool.workers.len();
+        if p <= 1 {
+            return None;
+        }
+        let victim_idx = self.random_victim(p);
+        let victim = &pool.workers[victim_idx];
+        match &victim.deque {
+            AnyDeque::Abp(d) => d.pop_top().success(),
+            AnyDeque::Split(d) => match d.pop_top() {
+                Steal::Ok(task) => {
+                    // Stealing removed a task from the victim's public part:
+                    // future thieves may request exposure again.
+                    victim.targeted.store(false, Ordering::Relaxed);
+                    Some(task)
+                }
+                Steal::PrivateWork => {
+                    self.notify_victim(victim, d);
+                    None
+                }
+                Steal::Empty | Steal::Abort => None,
+            },
+        }
+    }
+
+    /// The per-variant notification rule for a `PRIVATE_WORK` answer.
+    fn notify_victim(&self, victim: &WorkerShared, deque: &crate::deque::SplitDeque) {
+        match self.variant() {
+            // Listing 1 line 22: flag only; the victim polls it.
+            Variant::UsLcws => victim.targeted.store(true, Ordering::Relaxed),
+            // Listing 3 lines 8–11. The plain load-then-store mirrors the
+            // paper; a lost race costs one duplicate SIGUSR1, which the OS
+            // coalesces with the pending one.
+            Variant::Signal | Variant::SignalHalf => {
+                if !victim.targeted.load(Ordering::Relaxed) {
+                    victim.targeted.store(true, Ordering::Relaxed);
+                    signal::notify(victim.pthread.load(Ordering::Acquire));
+                }
+            }
+            // §4.1.1 adds `has_two_tasks()` to the notification condition.
+            Variant::SignalConservative => {
+                if !victim.targeted.load(Ordering::Relaxed) && deque.has_two_tasks() {
+                    victim.targeted.store(true, Ordering::Relaxed);
+                    signal::notify(victim.pthread.load(Ordering::Acquire));
+                }
+            }
+            Variant::Ws => unreachable!("WS uses the ABP deque"),
+        }
+    }
+
+    /// Execute a job taken from a deque, with task accounting.
+    #[inline]
+    pub(crate) fn execute(&self, job: *mut Job) {
+        metrics::bump(Counter::TaskRun);
+        // Safety: deque ownership transfer — exactly one taker per job.
+        unsafe { Job::execute(job) };
+    }
+
+    /// Helper worker loop: execute tasks until `finished` reports the run
+    /// generation complete. A worker's own deque is provably empty whenever
+    /// an executed task returns (its nested joins/scopes drain everything it
+    /// pushed), so returning on `finished` never strands work.
+    pub(crate) fn work_until(&self, finished: &dyn Fn() -> bool) {
+        loop {
+            if finished() {
+                return;
+            }
+            if let Some(job) = self.acquire_local().or_else(|| self.steal_once()) {
+                self.execute(job);
+            } else {
+                metrics::bump(Counter::IdleIter);
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Fork-join: run `a` and `b` in parallel, `b` being made available to
+    /// thieves through this worker's deque.
+    pub(crate) fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let job_b = StackJob::new(b);
+        let ptr_b = job_b.as_job_ptr();
+        self.push_job(ptr_b);
+        let ra = match panic::catch_unwind(AssertUnwindSafe(a)) {
+            Ok(v) => v,
+            Err(payload) => {
+                // `b` may be running on a thief and referencing this frame:
+                // it must complete (or be reclaimed unrun) before we unwind.
+                self.await_job(ptr_b, false);
+                panic::resume_unwind(payload);
+            }
+        };
+        self.await_job(ptr_b, true);
+        // Safety: await_job guarantees the job ran (or we ran it inline).
+        let rb = unsafe { job_b.take_result() };
+        (ra, rb)
+    }
+
+    /// Wait until the job at `ptr` has been executed, or reclaim it from our
+    /// own deque (running it inline iff `run_if_reacquired`; the panic path
+    /// reclaims without running).
+    ///
+    /// On return, either the job ran to completion (`done` set) or it was
+    /// reclaimed unrun by this worker — in both cases no other thread holds
+    /// a reference to it.
+    fn await_job(&self, ptr: *mut Job, run_if_reacquired: bool) {
+        // Fast path: the job is still at the bottom of our deque. The deque
+        // discipline makes anything acquire_local returns here *be* `ptr`
+        // (everything pushed above it has been popped or stolen-and-
+        // completed), but stay defensive in release builds.
+        while let Some(job) = self.acquire_local() {
+            if job == ptr {
+                if run_if_reacquired {
+                    self.execute(job);
+                    return;
+                }
+                // Reclaimed unrun: caller owns it again. The happy case for
+                // the panic path — nobody else ever saw it.
+                return;
+            }
+            debug_assert!(false, "join invariant violated: foreign job at deque bottom");
+            self.execute(job);
+        }
+        // The job was stolen: help along by stealing elsewhere until its
+        // `done` flag (set with Release by the executor) becomes visible.
+        loop {
+            // Safety: `ptr` refers to a StackJob frame that outlives this
+            // loop by construction of `join`.
+            if unsafe { (*ptr).is_done() } {
+                return;
+            }
+            if let Some(job) = self.steal_once() {
+                self.execute(job);
+            } else {
+                metrics::bump(Counter::IdleIter);
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// TLS installation guard; restores a clean slate on drop (including during
+/// panics) so stray signals after a run find a disarmed handler.
+pub(crate) struct CtxGuard<'a> {
+    ctx: &'a WorkerCtx,
+}
+
+impl Drop for CtxGuard<'_> {
+    fn drop(&mut self) {
+        if self.ctx.variant().uses_signals() {
+            unsafe { signal::set_handler_ctx(ptr::null()) };
+        }
+        CURRENT.with(|c| c.set(ptr::null()));
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based model checking of the deque state machines.
+//!
+//! The deques are driven with arbitrary operation sequences (sequentially —
+//! concurrency is covered by the stress tests) and compared step-by-step
+//! against simple `VecDeque` reference models:
+//!
+//! * split deque: private part = owner stack, public part = FIFO towards
+//!   thieves, exposure moves the *oldest private* task across the
+//!   boundary; `pop_public_bottom` may only be called when the private
+//!   part is empty (the scheduler's call contract).
+//! * ABP deque: plain deque (owner at the back, thieves at the front).
+
+use std::collections::VecDeque;
+
+use lcws_core::deque::{AbpDeque, Steal};
+use lcws_core::{ExposurePolicy, PopBottomMode, SplitDeque};
+use proptest::prelude::*;
+
+type Task = *mut lcws_core::deque::AbpDeque; // opaque cookie type
+
+fn cookie(v: usize) -> *mut lcws_core::Job {
+    (v + 1) as *mut lcws_core::Job // +1: never null
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push,
+    PopBottom,
+    PopPublicBottom,
+    Expose(u8),
+    StealTop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Push),
+        3 => Just(Op::PopBottom),
+        1 => Just(Op::PopPublicBottom),
+        2 => (0u8..3).prop_map(Op::Expose),
+        2 => Just(Op::StealTop),
+    ]
+}
+
+fn policy_of(code: u8) -> ExposurePolicy {
+    match code {
+        0 => ExposurePolicy::One,
+        1 => ExposurePolicy::Conservative,
+        _ => ExposurePolicy::Half,
+    }
+}
+
+/// Reference model of the split deque.
+#[derive(Default)]
+struct SplitModel {
+    public: VecDeque<usize>,  // front = top (steal side), back = boundary
+    private: VecDeque<usize>, // front = oldest (next to expose), back = bottom
+}
+
+impl SplitModel {
+    fn expose(&mut self, policy: ExposurePolicy) -> u32 {
+        let r = self.private.len() as u32;
+        let k = match policy {
+            ExposurePolicy::One => u32::from(r >= 1),
+            ExposurePolicy::Conservative => u32::from(r >= 2),
+            ExposurePolicy::Half => {
+                if r >= 3 {
+                    // round-half-to-even of r/2 — matches double2int: odd r
+                    // gives x.5, which rounds up only onto even integers.
+                    let half = r / 2;
+                    if r % 2 == 1 && half % 2 == 1 {
+                        half + 1
+                    } else {
+                        half
+                    }
+                } else {
+                    u32::from(r >= 1)
+                }
+            }
+        };
+        for _ in 0..k {
+            let t = self.private.pop_front().unwrap();
+            self.public.push_back(t);
+        }
+        k
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn split_deque_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        signal_safe in any::<bool>(),
+    ) {
+        let mode = if signal_safe { PopBottomMode::SignalSafe } else { PopBottomMode::Standard };
+        let deque = SplitDeque::new(512);
+        let mut model = SplitModel::default();
+        let mut next = 0usize;
+        for op in &ops {
+            match op {
+                Op::Push => {
+                    deque.push_bottom(cookie(next));
+                    model.private.push_back(next);
+                    next += 1;
+                }
+                Op::PopBottom => {
+                    let got = deque.pop_bottom(mode);
+                    let want = model.private.pop_back();
+                    prop_assert_eq!(got, want.map(cookie), "pop_bottom mismatch");
+                    // SignalSafe pop decrements `bot` on a miss; the
+                    // scheduler contract repairs it via pop_public_bottom,
+                    // which we invoke exactly as the scheduler does.
+                    if got.is_none() {
+                        let pub_got = deque.pop_public_bottom();
+                        let pub_want = model.public.pop_back();
+                        prop_assert_eq!(pub_got, pub_want.map(cookie), "repair pop mismatch");
+                    }
+                }
+                Op::PopPublicBottom => {
+                    // Contract: only when the private part is empty.
+                    if model.private.is_empty() {
+                        let got = deque.pop_public_bottom();
+                        let want = model.public.pop_back();
+                        prop_assert_eq!(got, want.map(cookie));
+                    }
+                }
+                Op::Expose(code) => {
+                    let policy = policy_of(*code);
+                    let exposed = deque.update_public_bottom(policy);
+                    let want = model.expose(policy);
+                    prop_assert_eq!(exposed, want, "exposure count mismatch");
+                }
+                Op::StealTop => {
+                    let got = deque.pop_top();
+                    match model.public.pop_front() {
+                        Some(t) => prop_assert_eq!(got, Steal::Ok(cookie(t))),
+                        None => prop_assert!(
+                            matches!(got, Steal::Empty | Steal::PrivateWork),
+                            "stole from empty public part: {:?}", got
+                        ),
+                    }
+                }
+            }
+            // Size invariants hold continuously.
+            prop_assert_eq!(deque.public_len() as usize, model.public.len());
+        }
+        // Drain: every remaining task comes out exactly once, in order.
+        while let Some(want) = model.private.pop_back() {
+            prop_assert_eq!(deque.pop_bottom(mode), Some(cookie(want)));
+        }
+        prop_assert_eq!(deque.pop_bottom(mode), None);
+        while let Some(want) = model.public.pop_back() {
+            prop_assert_eq!(deque.pop_public_bottom(), Some(cookie(want)));
+        }
+        prop_assert_eq!(deque.pop_public_bottom(), None);
+    }
+
+    #[test]
+    fn abp_deque_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let deque = AbpDeque::new(512);
+        let mut model: VecDeque<usize> = VecDeque::new();
+        let mut next = 0usize;
+        for op in &ops {
+            match op {
+                Op::Push | Op::Expose(_) => {
+                    deque.push_bottom(cookie(next));
+                    model.push_back(next);
+                    next += 1;
+                }
+                Op::PopBottom | Op::PopPublicBottom => {
+                    let got = deque.pop_bottom();
+                    prop_assert_eq!(got, model.pop_back().map(cookie));
+                }
+                Op::StealTop => {
+                    let got = deque.pop_top();
+                    match model.pop_front() {
+                        Some(t) => prop_assert_eq!(got, Steal::Ok(cookie(t))),
+                        None => prop_assert_eq!(got, Steal::Empty),
+                    }
+                }
+            }
+        }
+        while let Some(want) = model.pop_back() {
+            prop_assert_eq!(deque.pop_bottom(), Some(cookie(want)));
+        }
+        prop_assert_eq!(deque.pop_bottom(), None);
+    }
+
+    #[test]
+    fn double2int_rounds_half_to_even(r in 0u32..100_000) {
+        let x = r as f64 / 2.0;
+        let got = lcws_core::double2int(x);
+        let fl = x.floor();
+        let expected = if x - fl == 0.5 {
+            if (fl as i64) % 2 == 0 { fl as i32 } else { fl as i32 + 1 }
+        } else {
+            x.round() as i32
+        };
+        prop_assert_eq!(got, expected);
+    }
+}
+
+#[allow(dead_code)]
+fn unused_type_anchor(_: Task) {}

@@ -1,0 +1,138 @@
+//! Robustness tests for the pool lifecycle: concurrent pools, capacity
+//! failures, reuse after panics, and ambient-API fallbacks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lcws_core::{join, par_for_grain, scope, PoolBuilder, ThreadPool, Variant};
+
+#[test]
+fn two_pools_run_concurrently_without_crosstalk() {
+    // Two signal-based pools on different OS threads: SIGUSR1 traffic from
+    // one must never corrupt the other (handler contexts are per-thread).
+    let t1 = std::thread::spawn(|| {
+        let pool = ThreadPool::new(Variant::Signal, 3);
+        let mut acc = 0u64;
+        for round in 0..10 {
+            let sum = AtomicU64::new(0);
+            pool.run(|| {
+                par_for_grain(0..20_000, 32, |i| {
+                    sum.fetch_add(i as u64, Ordering::Relaxed);
+                });
+            });
+            acc += sum.load(Ordering::Relaxed) + round;
+        }
+        acc
+    });
+    let t2 = std::thread::spawn(|| {
+        let pool = ThreadPool::new(Variant::SignalHalf, 3);
+        let mut acc = 0u64;
+        for round in 0..10 {
+            let sum = AtomicU64::new(0);
+            pool.run(|| {
+                par_for_grain(0..20_000, 32, |i| {
+                    sum.fetch_add(i as u64, Ordering::Relaxed);
+                });
+            });
+            acc += sum.load(Ordering::Relaxed) + round;
+        }
+        acc
+    });
+    let expected: u64 = (0..20_000u64).sum();
+    let expected_total = 10 * expected + 45;
+    assert_eq!(t1.join().unwrap(), expected_total);
+    assert_eq!(t2.join().unwrap(), expected_total);
+}
+
+#[test]
+fn sequential_runs_from_different_caller_threads() {
+    // The pool's worker-0 role migrates with the caller.
+    let pool = std::sync::Arc::new(ThreadPool::new(Variant::Signal, 2));
+    for k in 0..4u64 {
+        let p = std::sync::Arc::clone(&pool);
+        let out = std::thread::spawn(move || p.run(move || k * 2)).join().unwrap();
+        assert_eq!(out, k * 2);
+    }
+}
+
+#[test]
+fn deque_overflow_panics_cleanly_and_pool_survives() {
+    let pool = PoolBuilder::new(Variant::UsLcws)
+        .threads(2)
+        .deque_capacity(8)
+        .build();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.run(|| {
+            // Spawn far more scope tasks than the deque can hold.
+            scope(|s| {
+                for _ in 0..1000 {
+                    s.spawn(|| std::hint::black_box(()));
+                }
+            });
+        });
+    }));
+    assert!(result.is_err(), "overflow must panic, not corrupt memory");
+    // Note: after an overflow panic the *pool* object must still drop
+    // safely; leaked heap jobs are acceptable, UB is not.
+}
+
+#[test]
+fn nested_scopes_and_joins_compose() {
+    let pool = ThreadPool::new(Variant::SignalConservative, 4);
+    let total = AtomicU64::new(0);
+    pool.run(|| {
+        scope(|outer| {
+            for i in 0..8u64 {
+                let total = &total;
+                outer.spawn(move || {
+                    let (a, b) = join(
+                        || {
+                            let mut acc = 0;
+                            scope(|inner| {
+                                let acc_ref = &mut acc;
+                                inner.spawn(move || *acc_ref = i);
+                            });
+                            acc
+                        },
+                        || i * 10,
+                    );
+                    total.fetch_add(a + b, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    let expected: u64 = (0..8).map(|i| i + i * 10).sum();
+    assert_eq!(total.load(Ordering::Relaxed), expected);
+}
+
+#[test]
+fn ambient_api_usable_without_pool_after_pool_use() {
+    let pool = ThreadPool::new(Variant::Ws, 2);
+    assert_eq!(pool.run(lcws_core::num_workers), 2);
+    // Back outside: sequential fallback.
+    assert_eq!(lcws_core::num_workers(), 1);
+    let (a, b) = join(|| 1, || 2);
+    assert_eq!(a + b, 3);
+}
+
+#[test]
+fn variant_parse_round_trips_through_display() {
+    for v in Variant::ALL {
+        let s = format!("{v}");
+        assert_eq!(s.parse::<Variant>().unwrap(), v);
+    }
+    assert!("".parse::<Variant>().is_err());
+    let err = "nonsense".parse::<Variant>().unwrap_err();
+    assert!(format!("{err}").contains("nonsense"));
+}
+
+#[test]
+fn metrics_task_accounting_counts_forked_jobs() {
+    let pool = ThreadPool::new(Variant::Signal, 2);
+    let (_, m) = pool.run_measured(|| {
+        par_for_grain(0..1024, 8, |_| {});
+    });
+    // 1024/8 = 128 leaves → 127 forks; each fork pushes one job. Every
+    // pushed job is executed exactly once (inline, reclaimed, or stolen).
+    assert!(m.get(lcws_core::Counter::Push) >= 127);
+    assert!(m.tasks_run() <= m.get(lcws_core::Counter::Push));
+}

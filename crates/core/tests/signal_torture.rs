@@ -1,0 +1,106 @@
+//! Signal-delivery torture: external threads spray `SIGUSR1` at pool
+//! workers at high frequency while computations run. The exposure handler
+//! must be reentrancy-safe (signals can arrive back-to-back), must no-op
+//! on threads without an armed context, and `SA_RESTART` must keep
+//! blocking syscalls transparent. Results must stay exact throughout.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use lcws_core::{join, par_for_grain, ThreadPool, Variant};
+
+fn spray_signals<T>(pool_threads: &[libc::pthread_t], stop: &AtomicBool, body: impl FnOnce() -> T) -> T {
+    std::thread::scope(|s| {
+        for &target in pool_threads {
+            s.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    unsafe {
+                        libc::pthread_kill(target, libc::SIGUSR1);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        let out = body();
+        stop.store(true, Ordering::Release);
+        out
+    })
+}
+
+#[test]
+fn external_signal_storm_does_not_corrupt_results() {
+    // The pool's own threads are not directly reachable, but the *caller*
+    // thread is worker 0: storm it specifically while it runs.
+    let me = unsafe { libc::pthread_self() };
+    for variant in [Variant::Signal, Variant::SignalHalf, Variant::SignalConservative] {
+        let pool = ThreadPool::new(variant, 4);
+        let stop = AtomicBool::new(false);
+        let total = spray_signals(&[me], &stop, || {
+            let sum = AtomicU64::new(0);
+            for _round in 0..5 {
+                pool.run(|| {
+                    par_for_grain(0..30_000, 16, |i| {
+                        sum.fetch_add(i as u64, Ordering::Relaxed);
+                    });
+                });
+            }
+            sum.load(Ordering::Relaxed)
+        });
+        let expected: u64 = 5 * (0..30_000u64).sum::<u64>();
+        assert_eq!(total, expected, "variant {variant} corrupted under storm");
+    }
+}
+
+#[test]
+fn signal_storm_against_non_worker_thread_is_harmless() {
+    // A thread that never participates in any pool has a null handler
+    // context: delivered signals must be pure no-ops.
+    lcws_core::PoolBuilder::new(Variant::Signal).threads(2).build(); // installs handler
+    let victim_pthread = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| {
+            victim_pthread.store(unsafe { libc::pthread_self() } as u64, Ordering::Release);
+            let mut acc = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                acc = acc.wrapping_mul(31).wrapping_add(1);
+            }
+            acc
+        });
+        let target = loop {
+            let t = victim_pthread.load(Ordering::Acquire);
+            if t != 0 {
+                break t as libc::pthread_t;
+            }
+            std::thread::yield_now();
+        };
+        for _ in 0..5_000 {
+            unsafe {
+                libc::pthread_kill(target, libc::SIGUSR1);
+            }
+        }
+        stop.store(true, Ordering::Release);
+        assert!(handle.join().unwrap() > 0);
+    });
+}
+
+#[test]
+fn storm_during_deep_fork_join_stays_exact() {
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+    let me = unsafe { libc::pthread_self() };
+    let pool = ThreadPool::new(Variant::Signal, 4);
+    let stop = AtomicBool::new(false);
+    let result = spray_signals(&[me], &stop, || {
+        let mut acc = 0;
+        for _ in 0..3 {
+            acc += pool.run(|| fib(17));
+        }
+        acc
+    });
+    assert_eq!(result, 3 * 1597);
+}

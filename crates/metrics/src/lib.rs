@@ -1,0 +1,485 @@
+//! Synchronization-operation instrumentation for the LCWS schedulers.
+//!
+//! The SPAA '23 paper's primary quantitative evidence (Figures 3 and 8) is
+//! the *count of synchronization operations* — seq-cst memory fences and
+//! compare-and-swap instructions — executed by each scheduler, together with
+//! scheduling-event counts (steal attempts, successful steals, work
+//! exposures, exposed-but-unstolen tasks, signals sent, idle iterations).
+//!
+//! This crate provides that accounting with near-zero perturbation:
+//!
+//! * Every counter increment is a **plain, non-atomic add on a thread-local
+//!   `Cell<u64>`** (one load, one add, one store — no lock prefix, no fence).
+//!   Counting a fence with an atomic RMW would itself be a synchronization
+//!   operation and would distort exactly the quantity being measured.
+//! * Thread-local counters are **flushed** into a shared [`Collector`] at
+//!   natural quiescence points (the scheduler flushes when a parallel run
+//!   finishes), where a handful of `fetch_add`s per thread per run are noise.
+//!
+//! The instrumented entry points ([`fence_seq_cst`], [`record_cas`], …) are
+//! called by `lcws-core`'s deques and schedulers at exactly the points where
+//! the paper's C++ listings execute the corresponding instruction, so the
+//! per-run [`Snapshot`] reproduces the paper's profile plots.
+//!
+//! Signal-handler safety: the signal-based schedulers bump these counters
+//! from inside a `SIGUSR1` handler. That is sound because the increments
+//! touch only a `Cell` in the *interrupted thread's own* TLS block (already
+//! initialized by the worker prologue) and perform no allocation, locking,
+//! or syscalls.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The individual event kinds tracked by the instrumentation.
+///
+/// The discriminants index into [`Collector`]'s totals array and
+/// [`Snapshot`]'s fields; keep `COUNTER_KINDS` in sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Sequentially-consistent memory fences (`atomic_thread_fence(seq_cst)`
+    /// in the paper's Listing 2, and the fence the WS baseline deque pays on
+    /// every local `pop_bottom`).
+    Fence = 0,
+    /// Compare-and-swap instructions (successful or failed).
+    Cas = 1,
+    /// Steal attempts: every `pop_top` invocation by a thief.
+    StealAttempt = 2,
+    /// Successful steals: `pop_top` returned a task to a thief.
+    StealOk = 3,
+    /// Steal attempts answered with `PRIVATE_WORK` (the victim had only
+    /// private tasks, so the thief requested exposure).
+    StealPrivate = 4,
+    /// Tasks transferred from the private to the public part of a split
+    /// deque (`update_public_bottom` moved the boundary by one per task).
+    Exposure = 5,
+    /// Exposed tasks that were re-taken by their owner via
+    /// `pop_public_bottom` — the paper's "exposed work that is not stolen".
+    OwnerPublicPop = 6,
+    /// `pthread_kill(SIGUSR1)` notifications sent by thieves.
+    SignalSent = 7,
+    /// Work-exposure requests handled (signal-handler activations or
+    /// user-space `targeted`-flag observations that led to an exposure
+    /// check).
+    ExposureRequest = 8,
+    /// Iterations of the thief loop that yielded no task.
+    IdleIter = 9,
+    /// Tasks executed (both locally popped and stolen).
+    TaskRun = 10,
+    /// Local bottom pushes (`push_bottom`).
+    Push = 11,
+    /// Successful local bottom pops (`pop_bottom` returned a task).
+    LocalPop = 12,
+}
+
+/// All counter kinds, in discriminant order.
+pub const COUNTER_KINDS: [Counter; NUM_COUNTERS] = [
+    Counter::Fence,
+    Counter::Cas,
+    Counter::StealAttempt,
+    Counter::StealOk,
+    Counter::StealPrivate,
+    Counter::Exposure,
+    Counter::OwnerPublicPop,
+    Counter::SignalSent,
+    Counter::ExposureRequest,
+    Counter::IdleIter,
+    Counter::TaskRun,
+    Counter::Push,
+    Counter::LocalPop,
+];
+
+/// Number of distinct counters.
+pub const NUM_COUNTERS: usize = 13;
+
+impl Counter {
+    /// Short, stable name used in CSV headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Fence => "fences",
+            Counter::Cas => "cas",
+            Counter::StealAttempt => "steal_attempts",
+            Counter::StealOk => "steals_ok",
+            Counter::StealPrivate => "steals_private",
+            Counter::Exposure => "exposures",
+            Counter::OwnerPublicPop => "owner_public_pops",
+            Counter::SignalSent => "signals_sent",
+            Counter::ExposureRequest => "exposure_requests",
+            Counter::IdleIter => "idle_iters",
+            Counter::TaskRun => "tasks_run",
+            Counter::Push => "pushes",
+            Counter::LocalPop => "local_pops",
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: [Cell<u64>; NUM_COUNTERS] = const {
+        [const { Cell::new(0) }; NUM_COUNTERS]
+    };
+}
+
+/// Increment a counter by one on the current thread.
+///
+/// Cost: one non-atomic TLS add. Safe to call from a signal handler once the
+/// thread has touched its counters at least once (worker prologues call
+/// [`touch`] to guarantee this).
+#[inline]
+pub fn bump(counter: Counter) {
+    LOCAL.with(|c| {
+        let cell = &c[counter as usize];
+        cell.set(cell.get().wrapping_add(1));
+    });
+}
+
+/// Increment a counter by `n` on the current thread.
+#[inline]
+pub fn bump_by(counter: Counter, n: u64) {
+    LOCAL.with(|c| {
+        let cell = &c[counter as usize];
+        cell.set(cell.get().wrapping_add(n));
+    });
+}
+
+/// Force initialization of this thread's counter TLS block.
+///
+/// Worker threads call this before installing signal handlers so that
+/// handler-context increments never trigger lazy TLS initialization.
+pub fn touch() {
+    LOCAL.with(|c| {
+        let _ = c[0].get();
+    });
+}
+
+/// Issue a sequentially-consistent fence **and** account for it.
+///
+/// All fences in the instrumented deques go through this function so the
+/// fence counts of Figures 3a/8a/8e can be regenerated exactly.
+#[inline]
+pub fn fence_seq_cst() {
+    std::sync::atomic::fence(Ordering::SeqCst);
+    bump(Counter::Fence);
+}
+
+/// Account for one compare-and-swap instruction (call adjacent to the CAS).
+#[inline]
+pub fn record_cas() {
+    bump(Counter::Cas);
+}
+
+/// Flush this thread's counters into `collector`, resetting them to zero.
+///
+/// Called by the scheduler whenever a worker quiesces at the end of a
+/// parallel run, and by the main thread before reading a [`Snapshot`].
+pub fn flush_into(collector: &Collector) {
+    LOCAL.with(|c| {
+        for (i, cell) in c.iter().enumerate() {
+            let v = cell.replace(0);
+            if v != 0 {
+                collector.totals[i].fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Discard this thread's pending counts (used between measurement phases).
+pub fn reset_local() {
+    LOCAL.with(|c| {
+        for cell in c.iter() {
+            cell.set(0);
+        }
+    });
+}
+
+/// Shared accumulation target for a group of threads.
+///
+/// A scheduler owns one `Collector`; its workers flush into it at quiescence.
+/// `Collector` is cheap to share (`Arc` internally-atomic totals).
+#[derive(Debug, Default)]
+pub struct Collector {
+    totals: [AtomicU64; NUM_COUNTERS],
+}
+
+impl Collector {
+    /// New collector with all totals zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Reset all totals to zero (start of a measured run).
+    pub fn reset(&self) {
+        for t in &self.totals {
+            t.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Read the current totals.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::default();
+        for (i, t) in self.totals.iter().enumerate() {
+            s.counts[i] = t.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Add `v` to one total directly (used by tests and by flushes from
+    /// threads that are about to exit).
+    pub fn add(&self, counter: Counter, v: u64) {
+        self.totals[counter as usize].fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Collector`]'s totals.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    counts: [u64; NUM_COUNTERS],
+}
+
+impl Snapshot {
+    /// Value of one counter.
+    #[inline]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counts[counter as usize]
+    }
+
+    /// Seq-cst fences executed.
+    pub fn fences(&self) -> u64 {
+        self.get(Counter::Fence)
+    }
+
+    /// CAS instructions executed.
+    pub fn cas(&self) -> u64 {
+        self.get(Counter::Cas)
+    }
+
+    /// Steal attempts (thief `pop_top` calls).
+    pub fn steal_attempts(&self) -> u64 {
+        self.get(Counter::StealAttempt)
+    }
+
+    /// Successful steals.
+    pub fn steals_ok(&self) -> u64 {
+        self.get(Counter::StealOk)
+    }
+
+    /// Tasks moved from private to public deque parts.
+    pub fn exposures(&self) -> u64 {
+        self.get(Counter::Exposure)
+    }
+
+    /// Exposed tasks re-taken by their owner rather than stolen.
+    pub fn owner_public_pops(&self) -> u64 {
+        self.get(Counter::OwnerPublicPop)
+    }
+
+    /// `pthread_kill` notifications sent.
+    pub fn signals_sent(&self) -> u64 {
+        self.get(Counter::SignalSent)
+    }
+
+    /// Tasks executed.
+    pub fn tasks_run(&self) -> u64 {
+        self.get(Counter::TaskRun)
+    }
+
+    /// Fraction of exposed tasks that were **not** stolen (taken back by the
+    /// owner) — the paper's Figure 3d / 8d metric. `None` when nothing was
+    /// exposed.
+    pub fn unstolen_exposure_ratio(&self) -> Option<f64> {
+        let exposed = self.exposures();
+        if exposed == 0 {
+            return None;
+        }
+        Some(self.owner_public_pops() as f64 / exposed as f64)
+    }
+
+    /// Ratio of one snapshot's counter to another's (paper plots e.g.
+    /// "USLCWS fences / WS fences"). `None` when the denominator is zero.
+    pub fn ratio(&self, other: &Snapshot, counter: Counter) -> Option<f64> {
+        let d = other.get(counter);
+        if d == 0 {
+            return None;
+        }
+        Some(self.get(counter) as f64 / d as f64)
+    }
+
+    /// Element-wise sum of two snapshots.
+    pub fn merged(&self, other: &Snapshot) -> Snapshot {
+        let mut out = *self;
+        for i in 0..NUM_COUNTERS {
+            out.counts[i] = out.counts[i].wrapping_add(other.counts[i]);
+        }
+        out
+    }
+
+    /// Element-wise difference (`self - other`), saturating at zero.
+    pub fn since(&self, other: &Snapshot) -> Snapshot {
+        let mut out = *self;
+        for i in 0..NUM_COUNTERS {
+            out.counts[i] = out.counts[i].saturating_sub(other.counts[i]);
+        }
+        out
+    }
+
+    /// CSV header matching [`Snapshot::to_csv_row`].
+    pub fn csv_header() -> String {
+        COUNTER_KINDS
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Comma-separated counter values in `COUNTER_KINDS` order.
+    pub fn to_csv_row(&self) -> String {
+        self.counts
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for kind in COUNTER_KINDS {
+            let v = self.get(kind);
+            if v != 0 {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}={}", kind.name(), v)?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(all zero)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_flush_accumulate() {
+        reset_local();
+        let c = Collector::new();
+        bump(Counter::Fence);
+        bump(Counter::Fence);
+        bump_by(Counter::Cas, 5);
+        flush_into(&c);
+        let s = c.snapshot();
+        assert_eq!(s.fences(), 2);
+        assert_eq!(s.cas(), 5);
+        // Locals were reset by the flush.
+        flush_into(&c);
+        assert_eq!(c.snapshot().fences(), 2);
+    }
+
+    #[test]
+    fn fence_counts_and_orders() {
+        reset_local();
+        let c = Collector::new();
+        fence_seq_cst();
+        flush_into(&c);
+        assert_eq!(c.snapshot().fences(), 1);
+    }
+
+    #[test]
+    fn snapshot_ratio_and_unstolen() {
+        let c = Collector::new();
+        c.add(Counter::Exposure, 10);
+        c.add(Counter::OwnerPublicPop, 4);
+        let s = c.snapshot();
+        assert_eq!(s.unstolen_exposure_ratio(), Some(0.4));
+
+        let d = Collector::new();
+        d.add(Counter::Fence, 100);
+        c.add(Counter::Fence, 25);
+        let r = c.snapshot().ratio(&d.snapshot(), Counter::Fence);
+        assert_eq!(r, Some(0.25));
+    }
+
+    #[test]
+    fn ratio_none_on_zero_denominator() {
+        let a = Collector::new().snapshot();
+        let b = Collector::new().snapshot();
+        assert_eq!(a.ratio(&b, Counter::Fence), None);
+        assert_eq!(a.unstolen_exposure_ratio(), None);
+    }
+
+    #[test]
+    fn flush_from_multiple_threads() {
+        let c = Collector::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    reset_local();
+                    for _ in 0..100 {
+                        bump(Counter::TaskRun);
+                    }
+                    flush_into(c);
+                });
+            }
+        });
+        assert_eq!(c.snapshot().tasks_run(), 400);
+    }
+
+    #[test]
+    fn merged_and_since() {
+        let c = Collector::new();
+        c.add(Counter::Push, 7);
+        c.add(Counter::LocalPop, 3);
+        let s1 = c.snapshot();
+        c.add(Counter::Push, 5);
+        let s2 = c.snapshot();
+        assert_eq!(s2.since(&s1).get(Counter::Push), 5);
+        assert_eq!(s2.since(&s1).get(Counter::LocalPop), 0);
+        assert_eq!(s1.merged(&s2).get(Counter::Push), 19);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let header = Snapshot::csv_header();
+        let row = Collector::new().snapshot().to_csv_row();
+        assert_eq!(
+            header.split(',').count(),
+            row.split(',').count(),
+            "header and row column counts must match"
+        );
+        assert_eq!(header.split(',').count(), NUM_COUNTERS);
+    }
+
+    #[test]
+    fn display_skips_zeros() {
+        let c = Collector::new();
+        c.add(Counter::SignalSent, 2);
+        let txt = format!("{}", c.snapshot());
+        assert!(txt.contains("signals_sent=2"));
+        assert!(!txt.contains("fences"));
+        assert_eq!(format!("{}", Snapshot::default()), "(all zero)");
+    }
+
+    #[test]
+    fn counter_names_unique() {
+        let mut names: Vec<_> = COUNTER_KINDS.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_COUNTERS);
+    }
+
+    #[test]
+    fn reset_clears_collector() {
+        let c = Collector::new();
+        c.add(Counter::Fence, 9);
+        c.reset();
+        assert_eq!(c.snapshot().fences(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Priority-update atomics (`write_min` / `write_max`) in the style PBBS
+//! uses for deterministic reservations and BFS parent assignment.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Atomically set `cell = min(cell, value)`. Returns true iff `value` won
+/// (strictly decreased the cell).
+pub fn write_min_usize(cell: &AtomicUsize, value: usize) -> bool {
+    let mut current = cell.load(Ordering::Relaxed);
+    while value < current {
+        match cell.compare_exchange_weak(current, value, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(observed) => current = observed,
+        }
+    }
+    false
+}
+
+/// Atomically set `cell = max(cell, value)`. Returns true iff `value` won.
+pub fn write_max_usize(cell: &AtomicUsize, value: usize) -> bool {
+    let mut current = cell.load(Ordering::Relaxed);
+    while value > current {
+        match cell.compare_exchange_weak(current, value, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(observed) => current = observed,
+        }
+    }
+    false
+}
+
+/// Atomically set `cell = min(cell, value)` over `u64`.
+pub fn write_min_u64(cell: &AtomicU64, value: u64) -> bool {
+    let mut current = cell.load(Ordering::Relaxed);
+    while value < current {
+        match cell.compare_exchange_weak(current, value, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(observed) => current = observed,
+        }
+    }
+    false
+}
+
+/// One-shot claim: set `cell` from `empty` to `value` exactly once.
+/// Returns true for the winning claimant.
+pub fn claim_usize(cell: &AtomicUsize, empty: usize, value: usize) -> bool {
+    cell.compare_exchange(empty, value, Ordering::AcqRel, Ordering::Relaxed)
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_min_takes_minimum() {
+        let c = AtomicUsize::new(100);
+        assert!(write_min_usize(&c, 50));
+        assert!(!write_min_usize(&c, 70));
+        assert!(write_min_usize(&c, 10));
+        assert_eq!(c.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn write_max_takes_maximum() {
+        let c = AtomicUsize::new(5);
+        assert!(write_max_usize(&c, 50));
+        assert!(!write_max_usize(&c, 20));
+        assert_eq!(c.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn concurrent_write_min_converges_to_global_min() {
+        let c = AtomicU64::new(u64::MAX);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        write_min_u64(c, (i * 7 + t * 13) % 5000 + 1);
+                    }
+                });
+            }
+        });
+        assert!(c.load(Ordering::Relaxed) >= 1);
+        assert!(c.load(Ordering::Relaxed) <= 5000);
+    }
+
+    #[test]
+    fn claim_is_exclusive() {
+        let c = AtomicUsize::new(usize::MAX);
+        assert!(claim_usize(&c, usize::MAX, 3));
+        assert!(!claim_usize(&c, usize::MAX, 4));
+        assert_eq!(c.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,175 @@
+//! Phase-concurrent, insert-only hash set (linear probing + CAS) — the
+//! substrate PBBS's `removeDuplicates` and index-building benchmarks use.
+//!
+//! "Phase-concurrent" means concurrent inserts are safe, and reads
+//! (`contains`, `elements`) are safe concurrently with each other and with
+//! inserts (an in-flight insert is simply observed or not). There is no
+//! deletion, matching PBBS's deterministic hashing structure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::primitives;
+use crate::random::hash64;
+
+/// Slot value meaning "empty".
+const EMPTY: u64 = u64::MAX;
+
+/// A fixed-capacity concurrent set of `u64` keys (keys must be
+/// `< u64::MAX`).
+pub struct ConcurrentSet {
+    slots: Box<[AtomicU64]>,
+    mask: usize,
+}
+
+impl ConcurrentSet {
+    /// A set able to hold at least `capacity` keys with load factor ≤ 0.5.
+    pub fn with_capacity(capacity: usize) -> ConcurrentSet {
+        let size = (capacity.max(2) * 2).next_power_of_two();
+        let slots = (0..size).map(|_| AtomicU64::new(EMPTY)).collect();
+        ConcurrentSet {
+            slots,
+            mask: size - 1,
+        }
+    }
+
+    /// Number of slots (≥ 2 × requested capacity).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Insert `key`; returns true iff it was not already present.
+    ///
+    /// Panics if the table is full (the caller sized it too small).
+    pub fn insert(&self, key: u64) -> bool {
+        assert_ne!(key, EMPTY, "u64::MAX is reserved as the empty marker");
+        let mut i = (hash64(key) as usize) & self.mask;
+        for _probe in 0..=self.mask {
+            let slot = &self.slots[i];
+            let cur = slot.load(Ordering::Acquire);
+            if cur == key {
+                return false;
+            }
+            if cur == EMPTY {
+                match slot.compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => return true,
+                    Err(observed) if observed == key => return false,
+                    Err(_) => continue, // someone claimed the slot; re-read it
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+        panic!("ConcurrentSet overflow: all {} slots full", self.slots.len());
+    }
+
+    /// Is `key` present?
+    pub fn contains(&self, key: u64) -> bool {
+        let mut i = (hash64(key) as usize) & self.mask;
+        for _probe in 0..=self.mask {
+            match self.slots[i].load(Ordering::Acquire) {
+                cur if cur == key => return true,
+                EMPTY => return false,
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+        false
+    }
+
+    /// Snapshot of the stored keys, in unspecified order (parallel pack).
+    pub fn elements(&self) -> Vec<u64> {
+        let raw = primitives::tabulate(self.slots.len(), |i| {
+            self.slots[i].load(Ordering::Acquire)
+        });
+        primitives::filter(&raw, |&k| k != EMPTY)
+    }
+
+    /// Number of stored keys (parallel count).
+    pub fn len(&self) -> usize {
+        primitives::count(
+            &primitives::tabulate(self.slots.len(), |i| {
+                self.slots[i].load(Ordering::Acquire)
+            }),
+            |&k| k != EMPTY,
+        )
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let s = ConcurrentSet::with_capacity(100);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn colliding_keys_probe_correctly() {
+        // Force collisions with a tiny table.
+        let s = ConcurrentSet::with_capacity(4);
+        for k in 0..4u64 {
+            assert!(s.insert(k));
+        }
+        for k in 0..4u64 {
+            assert!(s.contains(k), "lost key {k}");
+            assert!(!s.insert(k), "duplicate accepted for {k}");
+        }
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let s = ConcurrentSet::with_capacity(2);
+        for k in 0..100u64 {
+            s.insert(k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_key_rejected() {
+        let s = ConcurrentSet::with_capacity(4);
+        s.insert(u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_inserts_count_unique_keys_once() {
+        let s = ConcurrentSet::with_capacity(10_000);
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = &s;
+                let winners = &winners;
+                scope.spawn(move || {
+                    // All threads insert the same 2000 keys.
+                    for k in 0..2000u64 {
+                        if s.insert(k * 3 + 1) {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let _ = t;
+                });
+            }
+        });
+        assert_eq!(
+            winners.load(Ordering::Relaxed),
+            2000,
+            "each key must have exactly one winning insert"
+        );
+        assert_eq!(s.len(), 2000);
+        let mut el = s.elements();
+        el.sort_unstable();
+        let expected: Vec<u64> = (0..2000).map(|k| k * 3 + 1).collect();
+        assert_eq!(el, expected);
+    }
+}

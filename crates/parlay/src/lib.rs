@@ -1,0 +1,46 @@
+//! # parlay-rs — Parlay-style parallel algorithms on LCWS schedulers
+//!
+//! A Rust port of the slice of the Parlay toolkit that the Problem-Based
+//! Benchmark Suite depends on, built entirely on `lcws-core`'s ambient
+//! fork-join API (`join` / `par_for` / `scope`). Every function here runs
+//! in parallel when called inside a [`lcws_core::ThreadPool::run`] and
+//! degrades to sequential execution (identical results) outside one —
+//! exactly the property the paper exploits to run all of PBBS *unmodified*
+//! on each scheduler variant.
+//!
+//! Provided primitives:
+//!
+//! * [`primitives`] — `tabulate`, `map`, `reduce`, `scan`, `filter`,
+//!   `pack_index`, `flatten`, `min/max`, `count`, blocked chunk helpers.
+//! * [`sort`] — parallel comparison sort (merge sort with parallel merge)
+//!   and stable LSD parallel radix sort for integer keys.
+//! * [`random`] — Parlay's hash-based splittable random source (used by all
+//!   PBBS input generators, so inputs are deterministic across runs).
+//! * [`hashtable`] — phase-concurrent insert-only hash table (linear
+//!   probing + CAS), the substrate of `removeDuplicates` and index
+//!   building.
+//! * [`speculative`] — PBBS-style deterministic reservations
+//!   (`speculative_for`), the substrate of MIS / maximal matching /
+//!   spanning forest.
+//! * [`atomics`] — `write_min` / `write_max` priority updates.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod atomics;
+pub mod hashtable;
+pub mod primitives;
+pub mod random;
+pub mod selection;
+pub mod sort;
+pub mod speculative;
+
+pub use hashtable::ConcurrentSet;
+pub use primitives::{
+    count, filter, flatten, map, max_element, min_element, pack_index, par_chunks_mut, reduce,
+    scan_exclusive, scan_inclusive, tabulate,
+};
+pub use random::Random;
+pub use selection::{kth_smallest, kth_smallest_by, median, merge as merge_sorted, partition};
+pub use sort::{integer_sort, integer_sort_by_key, sample_sort, sample_sort_by, sort, sort_by};
+pub use speculative::{speculative_for, ReserveCommit};

@@ -1,0 +1,553 @@
+//! Data-parallel slice primitives: the Parlay operations PBBS is built on.
+//!
+//! Everything is expressed over `lcws_core::join`, so the task DAG these
+//! primitives generate is scheduled by whichever LCWS/WS variant the ambient
+//! pool runs — the paper's "benchmarks run unmodified" property.
+//!
+//! Blocked operations (`scan`, `filter`, `histogram`-style counting) use
+//! **exact block boundaries** (`block k = [k·grain, (k+1)·grain)`), which
+//! [`par_chunks_mut`] guarantees, so per-block sequential passes compose
+//! with the global scan of block sums.
+
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+
+use lcws_core::join;
+
+/// Sequential threshold for divide-and-conquer primitives, matching
+/// Parlay's default granularity ballpark.
+pub(crate) const SEQ_GRAIN: usize = 2048;
+
+/// A shared mutable view over a slice for provably disjoint parallel
+/// writes (block scatter phases). The safety obligation — no two concurrent
+/// writers touch the same index — rests on the *algorithm* (offsets from an
+/// exclusive scan are disjoint by construction).
+pub struct UnsafeSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    /// Wrap a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        UnsafeSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Wrap a mutable slice of uninitialized slots.
+    pub fn new_uninit(slice: &'a mut [MaybeUninit<T>]) -> UnsafeSlice<'a, T> {
+        UnsafeSlice {
+            ptr: slice.as_mut_ptr() as *mut T,
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    /// `index < len`, and no concurrent read or write of the same index.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        self.ptr.add(index).write(value);
+    }
+}
+
+/// Apply `f(offset, chunk)` over exact `grain`-aligned chunks of `data`
+/// in parallel: chunk `k` is `data[k·grain .. min((k+1)·grain, len)]` and
+/// `offset` is its start index.
+pub fn par_chunks_mut<T, F>(data: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let grain = grain.max(1);
+    rec(data, 0, grain, &f);
+
+    fn rec<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+        data: &mut [T],
+        offset: usize,
+        grain: usize,
+        f: &F,
+    ) {
+        let blocks = data.len().div_ceil(grain);
+        if blocks <= 1 {
+            if !data.is_empty() {
+                f(offset, data);
+            }
+            return;
+        }
+        let split = (blocks / 2) * grain;
+        let (lo, hi) = data.split_at_mut(split);
+        join(
+            || rec(lo, offset, grain, f),
+            || rec(hi, offset + split, grain, f),
+        );
+    }
+}
+
+/// Read-only exact-blocked parallel iteration: `f(block_index, block)`.
+pub fn par_blocks<T, F>(data: &[T], grain: usize, f: F)
+where
+    T: Sync,
+    F: Fn(usize, &[T]) + Sync,
+{
+    let grain = grain.max(1);
+    let blocks = data.len().div_ceil(grain);
+    lcws_core::par_for_grain(0..blocks, 1, |b| {
+        let lo = b * grain;
+        let hi = ((b + 1) * grain).min(data.len());
+        f(b, &data[lo..hi]);
+    });
+}
+
+/// Build a `Vec<T>` of length `n` with `out[i] = f(i)`, in parallel.
+///
+/// If `f` panics the partially initialized elements are leaked (never
+/// dropped uninitialized), and the panic propagates.
+pub fn tabulate<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    tabulate_grain(n, lcws_core::default_grain(n), f)
+}
+
+/// [`tabulate`] with an explicit grain size.
+pub fn tabulate_grain<T, F>(n: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // Safety: MaybeUninit needs no initialization.
+    unsafe { out.set_len(n) };
+    par_chunks_mut(&mut out, grain, |offset, chunk| {
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            slot.write(f(offset + k));
+        }
+    });
+    // Safety: every slot was written exactly once above.
+    unsafe { transmute_vec(out) }
+}
+
+/// Reinterpret a fully initialized `Vec<MaybeUninit<T>>` as `Vec<T>`.
+///
+/// # Safety
+/// Every element must be initialized.
+unsafe fn transmute_vec<T>(v: Vec<MaybeUninit<T>>) -> Vec<T> {
+    let mut v = std::mem::ManuallyDrop::new(v);
+    Vec::from_raw_parts(v.as_mut_ptr() as *mut T, v.len(), v.capacity())
+}
+
+/// Parallel map: `out[i] = f(&input[i])`.
+pub fn map<T, U, F>(input: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    tabulate(input.len(), |i| f(&input[i]))
+}
+
+/// Parallel reduction with identity `id` and associative operator `op`.
+pub fn reduce<T, F>(input: &[T], id: T, op: F) -> T
+where
+    T: Clone + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    fn rec<T: Clone + Send + Sync, F: Fn(T, T) -> T + Sync>(a: &[T], id: &T, op: &F) -> T {
+        if a.len() <= SEQ_GRAIN {
+            return a.iter().fold(id.clone(), |acc, x| op(acc, x.clone()));
+        }
+        let (lo, hi) = a.split_at(a.len() / 2);
+        let (l, r) = join(|| rec(lo, id, op), || rec(hi, id, op));
+        op(l, r)
+    }
+    rec(input, &id, &op)
+}
+
+/// Count elements satisfying `pred`, in parallel.
+pub fn count<T, F>(input: &[T], pred: F) -> usize
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    fn rec<T: Sync, F: Fn(&T) -> bool + Sync>(a: &[T], pred: &F) -> usize {
+        if a.len() <= SEQ_GRAIN {
+            return a.iter().filter(|x| pred(x)).count();
+        }
+        let (lo, hi) = a.split_at(a.len() / 2);
+        let (l, r) = join(|| rec(lo, pred), || rec(hi, pred));
+        l + r
+    }
+    rec(input, &pred)
+}
+
+/// Index of a minimum element under `Ord` (first occurrence), or `None`.
+pub fn min_element<T: Ord + Sync>(input: &[T]) -> Option<usize> {
+    extreme_element(input, |a, b| a < b)
+}
+
+/// Index of a maximum element under `Ord` (first occurrence), or `None`.
+pub fn max_element<T: Ord + Sync>(input: &[T]) -> Option<usize> {
+    extreme_element(input, |a, b| a > b)
+}
+
+fn extreme_element<T, F>(input: &[T], better: F) -> Option<usize>
+where
+    T: Sync,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    fn rec<T: Sync, F: Fn(&T, &T) -> bool + Sync>(
+        a: &[T],
+        offset: usize,
+        better: &F,
+    ) -> Option<usize> {
+        if a.is_empty() {
+            return None;
+        }
+        if a.len() <= SEQ_GRAIN {
+            let mut best = 0;
+            for (i, x) in a.iter().enumerate().skip(1) {
+                if better(x, &a[best]) {
+                    best = i;
+                }
+            }
+            return Some(offset + best);
+        }
+        let mid = a.len() / 2;
+        let (lo, hi) = a.split_at(mid);
+        let (l, r) = join(|| rec(lo, offset, better), || rec(hi, offset + mid, better));
+        match (l, r) {
+            (Some(i), Some(j)) => {
+                // `better` is strict, so ties go left: stability.
+                if better(&a[j - offset], &a[i - offset]) {
+                    Some(j)
+                } else {
+                    Some(i)
+                }
+            }
+            (l, r) => l.or(r),
+        }
+    }
+    rec(input, 0, &better)
+}
+
+/// Exclusive parallel scan (prefix "sums") with identity `id` and
+/// associative `op`. Returns `(prefixes, total)` where `prefixes[i] =
+/// op(id, input[0..i])`.
+pub fn scan_exclusive<T, F>(input: &[T], id: T, op: F) -> (Vec<T>, T)
+where
+    T: Clone + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return (Vec::new(), id);
+    }
+    let grain = lcws_core::default_grain(n);
+    let blocks = n.div_ceil(grain);
+    // Pass 1: per-block totals.
+    let sums = tabulate_grain(blocks, 1, |b| {
+        let lo = b * grain;
+        let hi = ((b + 1) * grain).min(n);
+        input[lo..hi]
+            .iter()
+            .fold(id.clone(), |acc, x| op(acc, x.clone()))
+    });
+    // Sequential scan over (few) block totals.
+    let mut offsets = Vec::with_capacity(blocks);
+    let mut acc = id.clone();
+    for s in &sums {
+        offsets.push(acc.clone());
+        acc = op(acc, s.clone());
+    }
+    let total = acc;
+    // Pass 2: per-block sequential scans seeded with the block offset.
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    unsafe { out.set_len(n) };
+    par_chunks_mut(&mut out, grain, |offset, chunk| {
+        let b = offset / grain;
+        let mut carry = offsets[b].clone();
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            slot.write(carry.clone());
+            carry = op(carry, input[offset + k].clone());
+        }
+    });
+    (unsafe { transmute_vec(out) }, total)
+}
+
+/// Inclusive parallel scan: `out[i] = op(id, input[0..=i])`.
+pub fn scan_inclusive<T, F>(input: &[T], id: T, op: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let grain = lcws_core::default_grain(n);
+    let blocks = n.div_ceil(grain);
+    let sums = tabulate_grain(blocks, 1, |b| {
+        let lo = b * grain;
+        let hi = ((b + 1) * grain).min(n);
+        input[lo..hi]
+            .iter()
+            .fold(id.clone(), |acc, x| op(acc, x.clone()))
+    });
+    let mut offsets = Vec::with_capacity(blocks);
+    let mut acc = id;
+    for s in &sums {
+        offsets.push(acc.clone());
+        acc = op(acc, s.clone());
+    }
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    unsafe { out.set_len(n) };
+    par_chunks_mut(&mut out, grain, |offset, chunk| {
+        let b = offset / grain;
+        let mut carry = offsets[b].clone();
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            carry = op(carry, input[offset + k].clone());
+            slot.write(carry.clone());
+        }
+    });
+    unsafe { transmute_vec(out) }
+}
+
+/// Parallel filter: clones of the elements satisfying `pred`, order
+/// preserved.
+pub fn filter<T, F>(input: &[T], pred: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let grain = lcws_core::default_grain(n);
+    let blocks = n.div_ceil(grain);
+    let counts = tabulate_grain(blocks, 1, |b| {
+        let lo = b * grain;
+        let hi = ((b + 1) * grain).min(n);
+        input[lo..hi].iter().filter(|x| pred(x)).count()
+    });
+    let (offsets, total) = scan_exclusive(&counts, 0usize, |a, b| a + b);
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(total);
+    unsafe { out.set_len(total) };
+    {
+        let slots = UnsafeSlice::new_uninit(&mut out);
+        lcws_core::par_for_grain(0..blocks, 1, |b| {
+            let lo = b * grain;
+            let hi = ((b + 1) * grain).min(n);
+            let mut pos = offsets[b];
+            for x in &input[lo..hi] {
+                if pred(x) {
+                    // Safety: scan offsets give disjoint write ranges.
+                    unsafe { slots.write(pos, x.clone()) };
+                    pos += 1;
+                }
+            }
+        });
+    }
+    unsafe { transmute_vec(out) }
+}
+
+/// Indices `i` with `flags[i] == true`, in order (Parlay's `pack_index`).
+pub fn pack_index(flags: &[bool]) -> Vec<usize> {
+    let n = flags.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let grain = lcws_core::default_grain(n);
+    let blocks = n.div_ceil(grain);
+    let counts = tabulate_grain(blocks, 1, |b| {
+        let lo = b * grain;
+        let hi = ((b + 1) * grain).min(n);
+        flags[lo..hi].iter().filter(|&&f| f).count()
+    });
+    let (offsets, total) = scan_exclusive(&counts, 0usize, |a, b| a + b);
+    let mut out: Vec<MaybeUninit<usize>> = Vec::with_capacity(total);
+    unsafe { out.set_len(total) };
+    {
+        let slots = UnsafeSlice::new_uninit(&mut out);
+        lcws_core::par_for_grain(0..blocks, 1, |b| {
+            let lo = b * grain;
+            let hi = ((b + 1) * grain).min(n);
+            let mut pos = offsets[b];
+            for (i, &f) in flags[lo..hi].iter().enumerate() {
+                if f {
+                    unsafe { slots.write(pos, lo + i) };
+                    pos += 1;
+                }
+            }
+        });
+    }
+    unsafe { transmute_vec(out) }
+}
+
+/// Concatenate nested vectors in parallel.
+pub fn flatten<T: Clone + Send + Sync>(nested: &[Vec<T>]) -> Vec<T> {
+    let sizes: Vec<usize> = nested.iter().map(Vec::len).collect();
+    let (offsets, total) = scan_exclusive(&sizes, 0usize, |a, b| a + b);
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(total);
+    unsafe { out.set_len(total) };
+    {
+        let slots = UnsafeSlice::new_uninit(&mut out);
+        lcws_core::par_for_grain(0..nested.len(), 1, |j| {
+            let base = offsets[j];
+            for (k, x) in nested[j].iter().enumerate() {
+                // Safety: offset ranges are disjoint per source vector.
+                unsafe { slots.write(base + k, x.clone()) };
+            }
+        });
+    }
+    unsafe { transmute_vec(out) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabulate_identity() {
+        let v = tabulate(1000, |i| i * 3);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+        assert!(tabulate(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn map_matches_sequential() {
+        let a: Vec<i64> = (0..5000).collect();
+        let m = map(&a, |x| x * x - 1);
+        let expected: Vec<i64> = a.iter().map(|x| x * x - 1).collect();
+        assert_eq!(m, expected);
+    }
+
+    #[test]
+    fn reduce_sum_and_noncommutative_shape() {
+        let a: Vec<u64> = (1..=10_000).collect();
+        assert_eq!(reduce(&a, 0, |x, y| x + y), 10_000 * 10_001 / 2);
+        // Associative but non-commutative: string concat over small input.
+        let s: Vec<String> = (0..200).map(|i| i.to_string()).collect();
+        let joined = reduce(&s, String::new(), |a, b| a + &b);
+        let expected: String = s.concat();
+        assert_eq!(joined, expected);
+    }
+
+    #[test]
+    fn scan_exclusive_matches_sequential() {
+        let a: Vec<u64> = (0..10_000).map(|i| i % 7).collect();
+        let (scanned, total) = scan_exclusive(&a, 0, |x, y| x + y);
+        let mut acc = 0;
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(scanned[i], acc, "at {i}");
+            acc += x;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn scan_inclusive_matches_sequential() {
+        let a: Vec<u64> = (0..5000).map(|i| (i * i) % 11).collect();
+        let inc = scan_inclusive(&a, 0, |x, y| x + y);
+        let mut acc = 0;
+        for (i, &x) in a.iter().enumerate() {
+            acc += x;
+            assert_eq!(inc[i], acc, "at {i}");
+        }
+    }
+
+    #[test]
+    fn scan_empty() {
+        let (v, t) = scan_exclusive(&[] as &[u32], 9, |a, b| a + b);
+        assert!(v.is_empty());
+        assert_eq!(t, 9);
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let a: Vec<u32> = (0..20_000).collect();
+        let f = filter(&a, |x| x % 3 == 0);
+        let expected: Vec<u32> = a.iter().copied().filter(|x| x % 3 == 0).collect();
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn pack_index_matches_manual() {
+        let flags: Vec<bool> = (0..9999).map(|i| i % 5 == 1).collect();
+        let idx = pack_index(&flags);
+        let expected: Vec<usize> = (0..9999).filter(|i| i % 5 == 1).collect();
+        assert_eq!(idx, expected);
+    }
+
+    #[test]
+    fn count_and_extremes() {
+        let a: Vec<i32> = (0..10_000).map(|i| (i * 37) % 1001 - 500).collect();
+        assert_eq!(
+            count(&a, |x| *x > 0),
+            a.iter().filter(|x| **x > 0).count()
+        );
+        let min_i = min_element(&a).unwrap();
+        let max_i = max_element(&a).unwrap();
+        assert_eq!(a[min_i], *a.iter().min().unwrap());
+        assert_eq!(a[max_i], *a.iter().max().unwrap());
+        // First occurrence.
+        assert_eq!(min_i, a.iter().position(|x| *x == a[min_i]).unwrap());
+        assert!(min_element::<i32>(&[]).is_none());
+    }
+
+    #[test]
+    fn flatten_concatenates() {
+        let nested: Vec<Vec<u32>> = (0..100).map(|i| (0..i % 7).collect()).collect();
+        let flat = flatten(&nested);
+        let expected: Vec<u32> = nested.iter().flatten().copied().collect();
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn par_chunks_mut_exact_blocking() {
+        let mut v = vec![0usize; 1000];
+        par_chunks_mut(&mut v, 64, |offset, chunk| {
+            assert_eq!(offset % 64, 0, "chunks must start on grain boundaries");
+            assert!(chunk.len() <= 64);
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = offset + k;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn par_blocks_sees_every_block() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let data = vec![1u8; 1000];
+        let seen = AtomicUsize::new(0);
+        par_blocks(&data, 300, |b, block| {
+            assert!(b < 4);
+            seen.fetch_add(block.len(), Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 1000);
+    }
+}

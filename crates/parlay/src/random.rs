@@ -1,0 +1,124 @@
+//! Parlay's hash-based splittable random source.
+//!
+//! PBBS input generators draw value `i` as `hash(seed ⊕ i)` so that inputs
+//! are (a) deterministic across runs and machines and (b) generatable in
+//! parallel with no shared state — both properties the evaluation
+//! methodology depends on.
+
+/// A 64-bit finalizer-style hash (xxhash/murmur-mix family, the same shape
+/// as Parlay's `hash64`). Bijective on `u64`.
+#[inline]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Splittable random source: a seed plus pure functions of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Random {
+    seed: u64,
+}
+
+impl Random {
+    /// Random source with the given seed.
+    pub fn new(seed: u64) -> Random {
+        Random { seed }
+    }
+
+    /// An independent child source (Parlay's `fork`).
+    pub fn fork(&self, i: u64) -> Random {
+        Random {
+            seed: hash64(self.seed ^ hash64(i)),
+        }
+    }
+
+    /// The `i`-th random 64-bit value of this source.
+    #[inline]
+    pub fn ith_rand(&self, i: u64) -> u64 {
+        hash64(self.seed.wrapping_add(i))
+    }
+
+    /// The `i`-th random double in `[0, 1)`.
+    #[inline]
+    pub fn ith_f64(&self, i: u64) -> f64 {
+        // 53 high-quality bits → unit interval.
+        (self.ith_rand(i) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The `i`-th random value in `[lo, hi)` (uses modulo; bias is
+    /// negligible for the ranges PBBS uses, as in the original suite).
+    #[inline]
+    pub fn ith_in_range(&self, i: u64, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.ith_rand(i) % (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = Random::new(1);
+        let b = Random::new(1);
+        let c = Random::new(2);
+        assert_eq!(a.ith_rand(42), b.ith_rand(42));
+        assert_ne!(a.ith_rand(42), c.ith_rand(42));
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let r = Random::new(5);
+        let f1 = r.fork(0);
+        let f2 = r.fork(1);
+        assert_ne!(f1, f2);
+        assert_ne!(f1.ith_rand(0), f2.ith_rand(0));
+    }
+
+    #[test]
+    fn unit_interval_bounds() {
+        let r = Random::new(9);
+        for i in 0..10_000 {
+            let x = r.ith_f64(i);
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn range_bounds() {
+        let r = Random::new(13);
+        for i in 0..10_000 {
+            let v = r.ith_in_range(i, 10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn hash64_is_not_identity_and_spreads_low_bits() {
+        // Consecutive inputs should flip roughly half the output bits.
+        let mut total_flips = 0;
+        for i in 0..1000u64 {
+            total_flips += (hash64(i) ^ hash64(i + 1)).count_ones();
+        }
+        let avg = total_flips as f64 / 1000.0;
+        assert!((20.0..44.0).contains(&avg), "avalanche too weak: {avg}");
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let r = Random::new(77);
+        let mut buckets = [0u32; 16];
+        for i in 0..32_000 {
+            buckets[(r.ith_rand(i) % 16) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                (1700..2300).contains(&b),
+                "bucket {i} badly skewed: {b}/32000"
+            );
+        }
+    }
+}

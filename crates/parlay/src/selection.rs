@@ -1,0 +1,167 @@
+//! Order statistics and merging: `kth_smallest` (parallel quickselect),
+//! `partition`, and `merge_into` — the remaining Parlay sequence
+//! primitives PBBS-style algorithms lean on.
+
+use std::cmp::Ordering as CmpOrdering;
+
+use crate::primitives::{filter, tabulate};
+
+/// The `k`-th smallest element (0-indexed) of `data` under `cmp`, by
+/// parallel quickselect with deterministic median-of-first/mid/last
+/// pivoting. `O(n)` expected work, `O(log² n)` span. Panics if
+/// `k >= data.len()`.
+pub fn kth_smallest_by<T, C>(data: &[T], k: usize, cmp: C) -> T
+where
+    T: Clone + Send + Sync,
+    C: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    assert!(k < data.len(), "k = {k} out of bounds ({})", data.len());
+    let mut current: Vec<T> = data.to_vec();
+    let mut k = k;
+    loop {
+        if current.len() <= 2048 {
+            current.sort_by(&cmp);
+            return current[k].clone();
+        }
+        let pivot = median3(&current, &cmp);
+        let less = filter(&current, |x| cmp(x, &pivot) == CmpOrdering::Less);
+        if k < less.len() {
+            current = less;
+            continue;
+        }
+        let equal_count = crate::primitives::count(&current, |x| {
+            cmp(x, &pivot) == CmpOrdering::Equal
+        });
+        if k < less.len() + equal_count {
+            return pivot;
+        }
+        k -= less.len() + equal_count;
+        current = filter(&current, |x| cmp(x, &pivot) == CmpOrdering::Greater);
+    }
+}
+
+/// [`kth_smallest_by`] with the natural order.
+pub fn kth_smallest<T: Ord + Clone + Send + Sync>(data: &[T], k: usize) -> T {
+    kth_smallest_by(data, k, |a, b| a.cmp(b))
+}
+
+/// The median element (lower median for even lengths).
+pub fn median<T: Ord + Clone + Send + Sync>(data: &[T]) -> T {
+    kth_smallest(data, (data.len().saturating_sub(1)) / 2)
+}
+
+fn median3<T: Clone, C: Fn(&T, &T) -> CmpOrdering>(data: &[T], cmp: &C) -> T {
+    let a = &data[0];
+    let b = &data[data.len() / 2];
+    let c = &data[data.len() - 1];
+    let (lo, hi) = if cmp(a, b) == CmpOrdering::Greater {
+        (b, a)
+    } else {
+        (a, b)
+    };
+    let m = if cmp(c, lo) == CmpOrdering::Less {
+        lo
+    } else if cmp(c, hi) == CmpOrdering::Greater {
+        hi
+    } else {
+        c
+    };
+    m.clone()
+}
+
+/// Stable parallel partition: `(matching, rest)` clones in original order.
+pub fn partition<T, F>(data: &[T], pred: F) -> (Vec<T>, Vec<T>)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    lcws_core::join(
+        || filter(data, |x| pred(x)),
+        || filter(data, |x| !pred(x)),
+    )
+}
+
+/// Merge two sorted slices into a new sorted vector (parallel dual binary
+/// search; stable — ties take from `left` first).
+pub fn merge<T, C>(left: &[T], right: &[T], cmp: C) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    C: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    let n = left.len() + right.len();
+    // Reuse the sort module's parallel merge through a tabulate of
+    // positions would be O(n log n); instead allocate and run the real
+    // par_merge (private to sort.rs), re-exposed here via a small shim.
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    if let Some(first) = left.first().or_else(|| right.first()) {
+        out.resize(n, first.clone());
+        crate::sort::merge_into(left, right, &mut out, &cmp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::Random;
+
+    #[test]
+    fn kth_matches_sorted_order() {
+        let r = Random::new(31);
+        let data: Vec<u64> = (0..30_000).map(|i| r.ith_rand(i) % 10_000).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for k in [0, 1, 123, 15_000, 29_999] {
+            assert_eq!(kth_smallest(&data, k), sorted[k], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn kth_with_heavy_duplicates() {
+        let data = vec![5u32; 10_000];
+        assert_eq!(kth_smallest(&data, 0), 5);
+        assert_eq!(kth_smallest(&data, 9_999), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn kth_out_of_bounds_panics() {
+        kth_smallest(&[1, 2, 3], 3);
+    }
+
+    #[test]
+    fn median_small_cases() {
+        assert_eq!(median(&[3u8]), 3);
+        assert_eq!(median(&[2u8, 1]), 1); // lower median
+        assert_eq!(median(&[9u8, 1, 5]), 5);
+    }
+
+    #[test]
+    fn partition_is_stable() {
+        let data: Vec<i32> = (0..10_000).collect();
+        let (evens, odds) = partition(&data, |x| x % 2 == 0);
+        assert_eq!(evens.len(), 5_000);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]), "order preserved");
+        assert!(odds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn merge_matches_std() {
+        let r = Random::new(33);
+        let mut a: Vec<u64> = (0..20_000).map(|i| r.ith_rand(i)).collect();
+        let mut b: Vec<u64> = (0..15_000).map(|i| r.ith_rand(i + (1 << 40))).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        let merged = merge(&a, &b, |x, y| x.cmp(y));
+        let mut expected = [a.clone(), b.clone()].concat();
+        expected.sort_unstable();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn merge_empty_sides() {
+        assert!(merge::<u32, _>(&[], &[], |a, b| a.cmp(b)).is_empty());
+        assert_eq!(merge(&[1, 3], &[], |a, b| a.cmp(b)), vec![1, 3]);
+        assert_eq!(merge(&[], &[2, 4], |a, b| a.cmp(b)), vec![2, 4]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests: every parallel primitive agrees with its obvious
+//! sequential counterpart on arbitrary inputs — both outside a pool
+//! (sequential fallback) and inside a real multi-worker LCWS pool.
+
+use lcws_core::{ThreadPool, Variant};
+use proptest::prelude::*;
+
+fn pool() -> ThreadPool {
+    ThreadPool::new(Variant::Signal, 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sort_matches_std(mut v in proptest::collection::vec(any::<u64>(), 0..3000)) {
+        let mut expected = v.clone();
+        expected.sort();
+        pool().run(|| parlay_rs::sort(&mut v));
+        prop_assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn integer_sort_matches_std(mut v in proptest::collection::vec(any::<u64>(), 0..3000)) {
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        pool().run(|| parlay_rs::integer_sort(&mut v));
+        prop_assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn stable_sort_preserves_equal_key_order(
+        keys in proptest::collection::vec(0u64..16, 0..2000)
+    ) {
+        let mut v: Vec<(u64, usize)> = keys.iter().copied().zip(0..).collect();
+        let mut expected = v.clone();
+        expected.sort_by_key(|p| p.0);
+        pool().run(|| parlay_rs::integer_sort_by_key(&mut v, |p| p.0));
+        prop_assert_eq!(&v, &expected, "radix not stable");
+        let mut w: Vec<(u64, usize)> = keys.iter().copied().zip(0..).collect();
+        pool().run(|| parlay_rs::sort_by(&mut w, |a, b| a.0.cmp(&b.0)));
+        prop_assert_eq!(&w, &expected, "merge sort not stable");
+    }
+
+    #[test]
+    fn scan_matches_fold(v in proptest::collection::vec(0u64..1000, 0..3000)) {
+        let (scanned, total) = pool().run(|| parlay_rs::scan_exclusive(&v, 0, |a, b| a + b));
+        let mut acc = 0u64;
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert_eq!(scanned[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn filter_matches_iterator(v in proptest::collection::vec(any::<i32>(), 0..3000)) {
+        let got = pool().run(|| parlay_rs::filter(&v, |x| x % 3 == 0));
+        let expected: Vec<i32> = v.iter().copied().filter(|x| x % 3 == 0).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn reduce_matches_sum(v in proptest::collection::vec(0u64..(1 << 40), 0..3000)) {
+        let got = pool().run(|| parlay_rs::reduce(&v, 0, |a, b| a + b));
+        prop_assert_eq!(got, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn pack_index_matches_positions(flags in proptest::collection::vec(any::<bool>(), 0..3000)) {
+        let got = pool().run(|| parlay_rs::pack_index(&flags));
+        let expected: Vec<usize> =
+            flags.iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| i).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn tabulate_then_flatten_round_trip(
+        sizes in proptest::collection::vec(0usize..20, 0..100)
+    ) {
+        let nested: Vec<Vec<usize>> =
+            sizes.iter().enumerate().map(|(i, &s)| vec![i; s]).collect();
+        let flat = pool().run(|| parlay_rs::flatten(&nested));
+        let expected: Vec<usize> = nested.iter().flatten().copied().collect();
+        prop_assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn dedup_set_semantics(v in proptest::collection::vec(0u64..500, 0..2000)) {
+        let set = parlay_rs::ConcurrentSet::with_capacity(v.len().max(8));
+        pool().run(|| {
+            lcws_core::par_for_grain(0..v.len(), 32, |i| {
+                set.insert(v[i]);
+            });
+        });
+        let mut got = set.elements();
+        got.sort_unstable();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn extremes_match_iterator(v in proptest::collection::vec(any::<i64>(), 1..2000)) {
+        let min_i = parlay_rs::min_element(&v).unwrap();
+        let max_i = parlay_rs::max_element(&v).unwrap();
+        prop_assert_eq!(v[min_i], *v.iter().min().unwrap());
+        prop_assert_eq!(v[max_i], *v.iter().max().unwrap());
+    }
+}

@@ -1,0 +1,419 @@
+//! Geometry benchmarks: `convexHull` (parallel quickhull) and
+//! `nearestNeighbors` (k-d tree, 1-NN per point).
+
+use lcws_core::join;
+use parlay_rs::primitives::tabulate;
+
+use crate::gen::geom::Point2;
+
+/// Parallel quickhull: indices of the convex hull of `pts`, in
+/// counter-clockwise order starting from the leftmost point.
+pub fn convex_hull(pts: &[Point2]) -> Vec<u32> {
+    let n = pts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+    // Extreme points by (x, y) lexicographic order.
+    let lo = (0..n)
+        .min_by(|&a, &b| {
+            (pts[a].x, pts[a].y)
+                .partial_cmp(&(pts[b].x, pts[b].y))
+                .unwrap()
+        })
+        .unwrap() as u32;
+    let hi = (0..n)
+        .max_by(|&a, &b| {
+            (pts[a].x, pts[a].y)
+                .partial_cmp(&(pts[b].x, pts[b].y))
+                .unwrap()
+        })
+        .unwrap() as u32;
+    if lo == hi {
+        return vec![lo]; // all points identical
+    }
+    let idx: Vec<u32> = tabulate(n, |i| i as u32);
+    let above = parlay_rs::filter(&idx, |&i| {
+        Point2::cross(&pts[lo as usize], &pts[hi as usize], &pts[i as usize]) > 0.0
+    });
+    let below = parlay_rs::filter(&idx, |&i| {
+        Point2::cross(&pts[hi as usize], &pts[lo as usize], &pts[i as usize]) > 0.0
+    });
+    let (upper, lower) = join(
+        || quickhull_rec(pts, &above, lo, hi),
+        || quickhull_rec(pts, &below, hi, lo),
+    );
+    // lo → above-chain → hi → below-chain traverses the hull clockwise
+    // (the above chain runs left-to-right over the top). Reverse and
+    // rotate so the result is CCW starting at the leftmost point.
+    let mut hull = Vec::with_capacity(upper.len() + lower.len() + 2);
+    hull.push(lo);
+    hull.extend(upper);
+    hull.push(hi);
+    hull.extend(lower);
+    hull.reverse();
+    hull.rotate_right(1);
+    debug_assert_eq!(hull[0], lo);
+    hull
+}
+
+/// Hull points strictly left of `a → b`, recursively, in chain order.
+fn quickhull_rec(pts: &[Point2], candidates: &[u32], a: u32, b: u32) -> Vec<u32> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    // Farthest point from the line a→b.
+    let far = *candidates
+        .iter()
+        .max_by(|&&p, &&q| {
+            let dp = Point2::cross(&pts[a as usize], &pts[b as usize], &pts[p as usize]);
+            let dq = Point2::cross(&pts[a as usize], &pts[b as usize], &pts[q as usize]);
+            dp.partial_cmp(&dq).unwrap()
+        })
+        .unwrap();
+    let (left_of_af, left_of_fb) = join(
+        || {
+            parlay_rs::filter(candidates, |&i| {
+                Point2::cross(&pts[a as usize], &pts[far as usize], &pts[i as usize]) > 0.0
+            })
+        },
+        || {
+            parlay_rs::filter(candidates, |&i| {
+                Point2::cross(&pts[far as usize], &pts[b as usize], &pts[i as usize]) > 0.0
+            })
+        },
+    );
+    let (mut lo_chain, hi_chain) = join(
+        || quickhull_rec(pts, &left_of_af, a, far),
+        || quickhull_rec(pts, &left_of_fb, far, b),
+    );
+    lo_chain.push(far);
+    lo_chain.extend(hi_chain);
+    lo_chain
+}
+
+/// Sequential reference hull (Andrew's monotone chain). Returns hull
+/// indices in CCW order starting from the leftmost point; collinear
+/// boundary points are excluded (matching quickhull's strict test).
+pub fn convex_hull_seq(pts: &[Point2]) -> Vec<u32> {
+    let n = pts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        (pts[a as usize].x, pts[a as usize].y)
+            .partial_cmp(&(pts[b as usize].x, pts[b as usize].y))
+            .unwrap()
+    });
+    order.dedup_by(|a, b| pts[*a as usize] == pts[*b as usize]);
+    if order.len() == 1 {
+        return vec![order[0]];
+    }
+    let cross = |o: u32, a: u32, b: u32| {
+        Point2::cross(&pts[o as usize], &pts[a as usize], &pts[b as usize])
+    };
+    let mut lower: Vec<u32> = Vec::new();
+    for &p in &order {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<u32> = Vec::new();
+    for &p in order.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    // Standard monotone chain with the `cross ≤ 0` pop rule yields the hull
+    // in counter-clockwise order starting at the leftmost point: the lower
+    // chain left→right, then the upper chain right→left.
+    let mut hull = lower;
+    hull.extend(upper);
+    hull
+}
+
+/// Validity check for a hull: all points inside or on the hull, hull is
+/// convex and CCW.
+pub fn check_hull(pts: &[Point2], hull: &[u32]) -> Result<(), String> {
+    if pts.is_empty() {
+        return if hull.is_empty() {
+            Ok(())
+        } else {
+            Err("hull of empty set".into())
+        };
+    }
+    if hull.len() < 3 {
+        return Ok(()); // degenerate inputs
+    }
+    let h = hull.len();
+    for k in 0..h {
+        let a = &pts[hull[k] as usize];
+        let b = &pts[hull[(k + 1) % h] as usize];
+        let c = &pts[hull[(k + 2) % h] as usize];
+        if Point2::cross(a, b, c) <= 0.0 {
+            return Err(format!("hull not strictly convex at position {k}"));
+        }
+    }
+    const EPS: f64 = 1e-9;
+    for (i, p) in pts.iter().enumerate() {
+        for k in 0..h {
+            let a = &pts[hull[k] as usize];
+            let b = &pts[hull[(k + 1) % h] as usize];
+            let scale = a.dist2(b).sqrt().max(1.0);
+            if Point2::cross(a, b, p) < -EPS * scale {
+                return Err(format!("point {i} lies outside hull edge {k}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A k-d tree over 2-d points for nearest-neighbor queries.
+pub struct KdTree {
+    nodes: Vec<KdNode>,
+    /// Point indices, permuted into tree order.
+    order: Vec<u32>,
+    pts: Vec<Point2>,
+}
+
+struct KdNode {
+    /// Range into `order`.
+    lo: usize,
+    hi: usize,
+    /// Split coordinate value (x for even depth, y for odd).
+    split: f64,
+    /// Children node ids (`usize::MAX` = leaf).
+    left: usize,
+    right: usize,
+}
+
+const KD_LEAF: usize = 16;
+
+impl KdTree {
+    /// Build in parallel (median split by alternating coordinate).
+    pub fn build(pts: &[Point2]) -> KdTree {
+        use parking_lot::Mutex;
+        let nodes = Mutex::new(Vec::new());
+        let mut order: Vec<u32> = (0..pts.len() as u32).collect();
+        let root = Self::build_rec(pts, &mut order, 0, 0, &nodes);
+        debug_assert!(pts.is_empty() || root == 0);
+        KdTree {
+            nodes: nodes.into_inner(),
+            order,
+            pts: pts.to_vec(),
+        }
+    }
+
+    fn build_rec(
+        pts: &[Point2],
+        order: &mut [u32],
+        offset: usize,
+        depth: usize,
+        nodes: &parking_lot::Mutex<Vec<KdNode>>,
+    ) -> usize {
+        let id = {
+            let mut n = nodes.lock();
+            n.push(KdNode {
+                lo: offset,
+                hi: offset + order.len(),
+                split: 0.0,
+                left: usize::MAX,
+                right: usize::MAX,
+            });
+            n.len() - 1
+        };
+        if order.len() <= KD_LEAF {
+            return id;
+        }
+        let by_x = depth.is_multiple_of(2);
+        let mid = order.len() / 2;
+        order.select_nth_unstable_by(mid, |&a, &b| {
+            let (ka, kb) = if by_x {
+                (pts[a as usize].x, pts[b as usize].x)
+            } else {
+                (pts[a as usize].y, pts[b as usize].y)
+            };
+            ka.partial_cmp(&kb).unwrap()
+        });
+        let split = if by_x {
+            pts[order[mid] as usize].x
+        } else {
+            pts[order[mid] as usize].y
+        };
+        let (lo_half, hi_half) = order.split_at_mut(mid);
+        let (l, r) = join(
+            || Self::build_rec(pts, lo_half, offset, depth + 1, nodes),
+            || Self::build_rec(pts, hi_half, offset + mid, depth + 1, nodes),
+        );
+        {
+            let mut n = nodes.lock();
+            n[id].split = split;
+            n[id].left = l;
+            n[id].right = r;
+        }
+        id
+    }
+
+    /// Nearest neighbor of `pts[q]` excluding `q` itself; `None` for a
+    /// single-point set.
+    pub fn nearest_excluding(&self, q: usize) -> Option<u32> {
+        if self.pts.len() < 2 {
+            return None;
+        }
+        let target = self.pts[q];
+        let mut best = (f64::INFINITY, u32::MAX);
+        self.search(0, 0, q as u32, &target, &mut best);
+        Some(best.1)
+    }
+
+    fn search(&self, node: usize, depth: usize, skip: u32, t: &Point2, best: &mut (f64, u32)) {
+        let nd = &self.nodes[node];
+        if nd.left == usize::MAX {
+            for &i in &self.order[nd.lo..nd.hi] {
+                if i != skip {
+                    let d = self.pts[i as usize].dist2(t);
+                    if d < best.0 {
+                        *best = (d, i);
+                    }
+                }
+            }
+            return;
+        }
+        let key = if depth.is_multiple_of(2) { t.x } else { t.y };
+        let (near, far) = if key < nd.split {
+            (nd.left, nd.right)
+        } else {
+            (nd.right, nd.left)
+        };
+        self.search(near, depth + 1, skip, t, best);
+        let plane = key - nd.split;
+        if plane * plane < best.0 {
+            self.search(far, depth + 1, skip, t, best);
+        }
+    }
+}
+
+/// `nearestNeighbors` benchmark: for every point, the index of its nearest
+/// other point (1-NN), via a parallel-built k-d tree and parallel queries.
+pub fn all_nearest_neighbors(pts: &[Point2]) -> Vec<u32> {
+    let tree = KdTree::build(pts);
+    tabulate(pts.len(), |q| {
+        tree.nearest_excluding(q).unwrap_or(u32::MAX)
+    })
+}
+
+/// Brute-force 1-NN reference.
+pub fn all_nearest_neighbors_seq(pts: &[Point2]) -> Vec<u32> {
+    (0..pts.len())
+        .map(|q| {
+            let mut best = (f64::INFINITY, u32::MAX);
+            for (i, p) in pts.iter().enumerate() {
+                if i != q {
+                    let d = p.dist2(&pts[q]);
+                    if d < best.0 {
+                        best = (d, i as u32);
+                    }
+                }
+            }
+            best.1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::geom::{points_in_cube_2d, points_in_sphere_2d, points_kuzmin_2d};
+
+    #[test]
+    fn hull_of_square_with_interior() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(0.5, 0.5),
+            Point2::new(0.25, 0.75),
+        ];
+        let hull = convex_hull(&pts);
+        check_hull(&pts, &hull).unwrap();
+        let mut ids = hull.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hull_valid_on_generators() {
+        for pts in [
+            points_in_cube_2d(5_000, 1),
+            points_in_sphere_2d(5_000, 2),
+            points_kuzmin_2d(5_000, 3),
+        ] {
+            let hull = convex_hull(&pts);
+            check_hull(&pts, &hull).unwrap();
+            // Same vertex set as the sequential reference.
+            let mut a = hull.clone();
+            a.sort_unstable();
+            let mut b = convex_hull_seq(&pts);
+            b.sort_unstable();
+            assert_eq!(a, b, "hull vertex sets must agree");
+        }
+    }
+
+    #[test]
+    fn hull_degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point2::new(1.0, 2.0)]), vec![0]);
+        let two = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let h = convex_hull(&two);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = points_in_cube_2d(2_000, 4);
+        let fast = all_nearest_neighbors(&pts);
+        let slow = all_nearest_neighbors_seq(&pts);
+        for q in 0..pts.len() {
+            // Allow distance ties to resolve differently.
+            let df = pts[fast[q] as usize].dist2(&pts[q]);
+            let ds = pts[slow[q] as usize].dist2(&pts[q]);
+            assert!(
+                (df - ds).abs() < 1e-12,
+                "query {q}: kd {df} vs brute {ds}"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_on_skewed_distribution() {
+        let pts = points_kuzmin_2d(1_500, 5);
+        let fast = all_nearest_neighbors(&pts);
+        let slow = all_nearest_neighbors_seq(&pts);
+        for q in 0..pts.len() {
+            let df = pts[fast[q] as usize].dist2(&pts[q]);
+            let ds = pts[slow[q] as usize].dist2(&pts[q]);
+            assert!((df - ds).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn knn_tiny_inputs() {
+        assert!(all_nearest_neighbors(&[]).is_empty());
+        assert_eq!(
+            all_nearest_neighbors(&[Point2::new(0.0, 0.0)]),
+            vec![u32::MAX]
+        );
+        let two = vec![Point2::new(0.0, 0.0), Point2::new(3.0, 4.0)];
+        assert_eq!(all_nearest_neighbors(&two), vec![1, 0]);
+    }
+}

@@ -1,0 +1,645 @@
+//! Graph benchmarks: `breadthFirstSearch`, `maximalIndependentSet`,
+//! `maximalMatching`, `spanningForest`, `minSpanningForest`.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+use parlay_rs::atomics::write_min_usize;
+use parlay_rs::primitives::tabulate;
+use parlay_rs::speculative::{speculative_for, ReserveCommit};
+
+use crate::graph::Graph;
+
+/// Vertex distance marker for "unreached".
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Parallel frontier-based BFS from `src`: returns the distance of every
+/// vertex (`UNREACHED` if disconnected). Distances are deterministic even
+/// though the BFS tree is not (ties claim via CAS).
+pub fn bfs(g: &Graph, src: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    dist[src as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![src];
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        // Each frontier vertex claims its unvisited neighbors with a CAS;
+        // winners emit them into the next frontier.
+        let next_nested: Vec<Vec<u32>> = tabulate(frontier.len(), |i| {
+            let v = frontier[i];
+            let mut out = Vec::new();
+            for &u in g.neighbors(v) {
+                if dist[u as usize].load(Ordering::Relaxed) == UNREACHED
+                    && dist[u as usize]
+                        .compare_exchange(
+                            UNREACHED,
+                            level,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                {
+                    out.push(u);
+                }
+            }
+            out
+        });
+        frontier = parlay_rs::flatten(&next_nested);
+    }
+    dist.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Sequential reference BFS.
+pub fn bfs_seq(g: &Graph, src: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHED; n];
+    dist[src as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == UNREACHED {
+                dist[u as usize] = dist[v as usize] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+const UNDECIDED: u8 = 0;
+const IN_SET: u8 = 1;
+const OUT_SET: u8 = 2;
+
+struct MisStep<'a> {
+    g: &'a Graph,
+    /// order[i] = vertex processed at priority i; rank[v] = its priority.
+    order: &'a [u32],
+    rank: &'a [usize],
+    status: &'a [AtomicU8],
+}
+
+impl ReserveCommit for MisStep<'_> {
+    fn reserve(&self, _i: usize) -> bool {
+        true
+    }
+
+    fn commit(&self, i: usize) -> bool {
+        let v = self.order[i];
+        if self.status[v as usize].load(Ordering::Acquire) != UNDECIDED {
+            return true;
+        }
+        // v joins the MIS iff every higher-priority neighbor is decided OUT;
+        // if any higher-priority neighbor is undecided, wait (retry).
+        let mut verdict = IN_SET;
+        for &u in self.g.neighbors(v) {
+            if self.rank[u as usize] < i {
+                match self.status[u as usize].load(Ordering::Acquire) {
+                    IN_SET => {
+                        verdict = OUT_SET;
+                        break;
+                    }
+                    UNDECIDED => return false, // earlier neighbor pending
+                    _ => {}
+                }
+            }
+        }
+        self.status[v as usize].store(verdict, Ordering::Release);
+        true
+    }
+}
+
+/// Deterministic parallel maximal independent set over a random vertex
+/// order derived from `seed` (PBBS's rootset/reservation algorithm).
+/// Returns the membership flags.
+pub fn maximal_independent_set(g: &Graph, seed: u64) -> Vec<bool> {
+    let n = g.num_vertices();
+    let order = random_permutation(n, seed);
+    let mut rank = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i;
+    }
+    let status: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(UNDECIDED)).collect();
+    let step = MisStep {
+        g,
+        order: &order,
+        rank: &rank,
+        status: &status,
+    };
+    speculative_for(&step, 0, n, 4096.max(n / 50));
+    status
+        .into_iter()
+        .map(|s| s.into_inner() == IN_SET)
+        .collect()
+}
+
+/// Check MIS validity: independent and maximal.
+pub fn check_mis(g: &Graph, in_set: &[bool]) -> Result<(), String> {
+    for &(u, v) in g.edge_list() {
+        if in_set[u as usize] && in_set[v as usize] {
+            return Err(format!("edge ({u},{v}) has both endpoints in the set"));
+        }
+    }
+    for v in 0..g.num_vertices() as u32 {
+        if !in_set[v as usize] && !g.neighbors(v).iter().any(|&u| in_set[u as usize]) {
+            return Err(format!("vertex {v} could be added: set not maximal"));
+        }
+    }
+    Ok(())
+}
+
+struct MatchStep<'a> {
+    edges: &'a [(u32, u32)],
+    order: &'a [u32],
+    reservation: &'a [AtomicUsize],
+    matched: &'a [AtomicU8],
+    matched_edges: &'a AtomicUsize,
+}
+
+impl ReserveCommit for MatchStep<'_> {
+    fn reserve(&self, i: usize) -> bool {
+        let (u, v) = self.edges[self.order[i] as usize];
+        if self.matched[u as usize].load(Ordering::Acquire) != 0
+            || self.matched[v as usize].load(Ordering::Acquire) != 0
+        {
+            return false; // moot: an endpoint is taken
+        }
+        write_min_usize(&self.reservation[u as usize], i);
+        write_min_usize(&self.reservation[v as usize], i);
+        true
+    }
+
+    fn commit(&self, i: usize) -> bool {
+        let (u, v) = self.edges[self.order[i] as usize];
+        let hold_u = self.reservation[u as usize].load(Ordering::Acquire) == i;
+        let hold_v = self.reservation[v as usize].load(Ordering::Acquire) == i;
+        // Clear any reservation we hold (as PBBS's matchStep does): every
+        // round's winners release their cells so the next round's reserve
+        // phase re-establishes minimums among the still-live edges only.
+        // Without this, a stale min-index reservation from a finished edge
+        // would block every later edge on that vertex forever.
+        if hold_u {
+            self.reservation[u as usize].store(usize::MAX, Ordering::Release);
+        }
+        if hold_v {
+            self.reservation[v as usize].store(usize::MAX, Ordering::Release);
+        }
+        if hold_u && hold_v {
+            self.matched[u as usize].store(1, Ordering::Release);
+            self.matched[v as usize].store(1, Ordering::Release);
+            self.matched_edges.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        // Endpoint lost to a lower-index edge this round: that edge either
+        // matched (we are moot, detected by next round's reserve) or will
+        // retry; in both cases we must retry unless already moot.
+        self.matched[u as usize].load(Ordering::Acquire) != 0
+            || self.matched[v as usize].load(Ordering::Acquire) != 0
+    }
+}
+
+/// Deterministic parallel maximal matching over a random edge order.
+/// Returns `matched[v]` flags and the number of matched edges.
+pub fn maximal_matching(g: &Graph, seed: u64) -> (Vec<bool>, usize) {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let order = random_permutation(m, seed ^ 0x3A7C);
+    let reservation: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    let matched: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+    let matched_edges = AtomicUsize::new(0);
+    let step = MatchStep {
+        edges: g.edge_list(),
+        order: &order,
+        reservation: &reservation,
+        matched: &matched,
+        matched_edges: &matched_edges,
+    };
+    speculative_for(&step, 0, m, 4096.max(m / 50));
+    (
+        matched.into_iter().map(|f| f.into_inner() != 0).collect(),
+        matched_edges.into_inner(),
+    )
+}
+
+/// Check matching validity: maximality (every edge touches a matched
+/// vertex) — vertex-disjointness is structural (flags, not edge pairs), so
+/// we additionally verify the matched-edge count is plausible.
+pub fn check_matching(g: &Graph, matched: &[bool], edges_matched: usize) -> Result<(), String> {
+    for &(u, v) in g.edge_list() {
+        if !matched[u as usize] && !matched[v as usize] {
+            return Err(format!("edge ({u},{v}) unmatched on both ends"));
+        }
+    }
+    let matched_vertices = matched.iter().filter(|&&b| b).count();
+    if matched_vertices != 2 * edges_matched {
+        return Err(format!(
+            "{matched_vertices} matched vertices but {edges_matched} matched edges"
+        ));
+    }
+    Ok(())
+}
+
+struct ForestStep<'a> {
+    edges: &'a [(u32, u32)],
+    parents: &'a [AtomicU32],
+    reservation: &'a [AtomicUsize],
+    in_forest: &'a [AtomicU8],
+    /// Roots reserved by each edge's latest `reserve` call (packed
+    /// `ru << 32 | rv`), so `commit` can release them (each edge is
+    /// processed by one task per round, and rounds are barrier-separated,
+    /// so plain store/load ordering suffices).
+    hooks: &'a [AtomicU64],
+    /// Unweighted spanning forest only needs the smaller root reserved
+    /// (any forest is acceptable). Kruskal-order MSF must reserve **both**
+    /// roots: otherwise a heavier edge whose roots are disjoint from a
+    /// lighter same-round competitor's *reserved* root could link a
+    /// component pair the lighter edge also connects, breaking minimality.
+    require_both: bool,
+    /// Union-by-rank, used only when `require_both` (the exclusive hold on
+    /// both roots makes any link direction safe). The single-reservation
+    /// mode must keep small-ID → large-ID links for its acyclicity proof
+    /// and tolerates the deeper trees because its identity processing
+    /// order gives path compression locality; random (weight) orders do
+    /// not, which is why rank balancing matters for MSF.
+    rank: &'a [AtomicU32],
+}
+
+impl ForestStep<'_> {
+    /// Root of `v`'s tree with path halving (safe concurrently: parents
+    /// only ever move towards roots).
+    fn find(&self, mut v: u32) -> u32 {
+        loop {
+            let p = self.parents[v as usize].load(Ordering::Acquire);
+            if p == v {
+                return v;
+            }
+            let gp = self.parents[p as usize].load(Ordering::Acquire);
+            let _ = self.parents[v as usize].compare_exchange(
+                p,
+                gp,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+            v = gp;
+        }
+    }
+}
+
+impl ReserveCommit for ForestStep<'_> {
+    fn reserve(&self, i: usize) -> bool {
+        let (u, v) = self.edges[i];
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return false; // already connected
+        }
+        let (small, large) = if ru < rv { (ru, rv) } else { (rv, ru) };
+        self.hooks[i].store(((small as u64) << 32) | large as u64, Ordering::Relaxed);
+        write_min_usize(&self.reservation[small as usize], i);
+        if self.require_both {
+            write_min_usize(&self.reservation[large as usize], i);
+        }
+        true
+    }
+
+    fn commit(&self, i: usize) -> bool {
+        let packed = self.hooks[i].load(Ordering::Relaxed);
+        let r_small = (packed >> 32) as u32;
+        let r_large = packed as u32;
+        let held_small =
+            self.reservation[r_small as usize].load(Ordering::Acquire) == i;
+        let held_large = self.require_both
+            && self.reservation[r_large as usize].load(Ordering::Acquire) == i;
+        // Release reservations unconditionally (PBBS-style): whether we
+        // link, retry, or turn out moot, the cells must be freed, or later
+        // edges livelock on a stale minimum index.
+        if held_small {
+            self.reservation[r_small as usize].store(usize::MAX, Ordering::Release);
+        }
+        if held_large {
+            self.reservation[r_large as usize].store(usize::MAX, Ordering::Release);
+        }
+        let won = if self.require_both {
+            held_small && held_large
+        } else {
+            held_small
+        };
+        let (u, v) = self.edges[i];
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return true; // connected meanwhile
+        }
+        let (small, large) = if ru < rv { (ru, rv) } else { (rv, ru) };
+        // A held root cannot have been linked by anyone else (only the
+        // reservation winner links it), and roots only grow within a
+        // round, so held reservations still name the live roots.
+        if won && small == r_small {
+            if self.require_both {
+                // Exclusive hold on both roots: link by rank to keep find
+                // paths logarithmic under arbitrary processing orders.
+                let rs = self.rank[small as usize].load(Ordering::Relaxed);
+                let rl = self.rank[large as usize].load(Ordering::Relaxed);
+                let (child, parent) = if rs < rl { (small, large) } else { (large, small) };
+                if rs == rl {
+                    self.rank[parent as usize].store(rl + 1, Ordering::Relaxed);
+                }
+                self.parents[child as usize].store(parent, Ordering::Release);
+            } else {
+                // Links always go small root → large root, so no cycle can
+                // form within a commit phase.
+                self.parents[small as usize].store(large, Ordering::Release);
+            }
+            self.in_forest[i].store(1, Ordering::Release);
+            true
+        } else {
+            false // lost a root; retry next round
+        }
+    }
+}
+
+/// Deterministic parallel spanning forest via reservation-based union-find.
+/// Returns the indices (into `g.edge_list()`) of the forest edges.
+pub fn spanning_forest(g: &Graph) -> Vec<usize> {
+    let order: Vec<u32> = (0..g.num_edges() as u32).collect();
+    spanning_forest_ordered(g, &order, false)
+}
+
+/// Deterministic per-edge weights for the weighted-graph benchmarks
+/// (PBBS attaches random weights to its generated graphs; we derive them
+/// from a hash of the canonical endpoints so they survive regeneration).
+pub fn edge_weights(g: &Graph, seed: u64) -> Vec<u64> {
+    parlay_rs::map(g.edge_list(), |&(u, v)| {
+        parlay_rs::random::hash64(seed ^ ((u as u64) << 32 | v as u64))
+    })
+}
+
+/// Parallel minimum spanning forest (Kruskal shape): parallel radix sort
+/// of the edges by weight, then the reservation-based union-find applied
+/// in weight order. With distinct weights the MSF is unique; ties break
+/// by edge index (the reservation priority), keeping the result
+/// deterministic. Returns indices into `g.edge_list()`.
+pub fn min_spanning_forest(g: &Graph, weights: &[u64]) -> Vec<usize> {
+    assert_eq!(weights.len(), g.num_edges());
+    let mut order: Vec<u32> = (0..g.num_edges() as u32).collect();
+    parlay_rs::integer_sort_by_key(&mut order, |&e| weights[e as usize]);
+    // Kruskal order requires both-roots reservations (see ForestStep).
+    spanning_forest_ordered(g, &order, true)
+}
+
+/// Sequential reference MSF weight (Kruskal with std sort + union-find).
+pub fn msf_weight_seq(g: &Graph, weights: &[u64]) -> u128 {
+    let n = g.num_vertices();
+    let mut order: Vec<u32> = (0..g.num_edges() as u32).collect();
+    order.sort_by_key(|&e| (weights[e as usize], e));
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    let mut total: u128 = 0;
+    for &e in &order {
+        let (u, v) = g.edge_list()[e as usize];
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+            total += weights[e as usize] as u128;
+        }
+    }
+    total
+}
+
+/// Spanning forest over edges processed in the given priority order
+/// (`order[i]` = edge index of priority `i`). Returns original edge
+/// indices of the forest.
+pub fn spanning_forest_ordered(g: &Graph, order: &[u32], require_both: bool) -> Vec<usize> {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    assert_eq!(order.len(), m);
+    // Permute the edge list into priority order for the step, then map
+    // chosen positions back to original indices.
+    let permuted: Vec<(u32, u32)> = parlay_rs::map(order, |&e| g.edge_list()[e as usize]);
+    let chosen = spanning_forest_raw(n, &permuted, require_both);
+    let mut out: Vec<usize> = parlay_rs::map(&chosen, |&i| order[i] as usize);
+    parlay_rs::integer_sort_by_key(&mut out, |&e| e as u64);
+    out
+}
+
+fn spanning_forest_raw(n: usize, edges: &[(u32, u32)], require_both: bool) -> Vec<usize> {
+    let m = edges.len();
+    let parents: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let reservation: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    let in_forest: Vec<AtomicU8> = (0..m).map(|_| AtomicU8::new(0)).collect();
+    let hooks: Vec<AtomicU64> = (0..m).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let rank: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let step = ForestStep {
+        edges,
+        parents: &parents,
+        reservation: &reservation,
+        in_forest: &in_forest,
+        hooks: &hooks,
+        require_both,
+        rank: &rank,
+    };
+    speculative_for(&step, 0, m, 4096.max(m / 50));
+    parlay_rs::pack_index(
+        &in_forest
+            .into_iter()
+            .map(|f| f.into_inner() != 0)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Number of connected components (sequential union-find reference).
+pub fn num_components_seq(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    let mut comps = n;
+    for &(u, v) in g.edge_list() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+            comps -= 1;
+        }
+    }
+    comps
+}
+
+/// Check a spanning forest: right edge count and acyclic/spanning.
+pub fn check_spanning_forest(g: &Graph, forest: &[usize]) -> Result<(), String> {
+    let n = g.num_vertices();
+    let expected = n - num_components_seq(g);
+    if forest.len() != expected {
+        return Err(format!(
+            "forest has {} edges, expected {expected}",
+            forest.len()
+        ));
+    }
+    // The chosen edges must be acyclic (union-find re-check).
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    for &e in forest {
+        let (u, v) = g.edge_list()[e];
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru == rv {
+            return Err(format!("forest edge {e} closes a cycle"));
+        }
+        parent[ru as usize] = rv;
+    }
+    Ok(())
+}
+
+/// Deterministic pseudo-random permutation of `0..n` (Fisher–Yates with a
+/// hash-based stream; sequential — generation is not part of timed work).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let r = parlay_rs::random::Random::new(seed);
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = (r.ith_rand(i as u64) % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::graphs::{grid_graph_2d, rand_local_graph, rmat_graph};
+
+    #[test]
+    fn bfs_matches_sequential_distances() {
+        for g in [
+            rmat_graph(512, 2048, 1),
+            rand_local_graph(800, 4, 2),
+            grid_graph_2d(20),
+        ] {
+            assert_eq!(bfs(&g, 0), bfs_seq(&g, 0));
+        }
+    }
+
+    #[test]
+    fn bfs_disconnected_marks_unreached() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let d = bfs(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn mis_is_valid_on_various_graphs() {
+        for (i, g) in [
+            rmat_graph(400, 1600, 3),
+            rand_local_graph(600, 5, 4),
+            grid_graph_2d(15),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mis = maximal_independent_set(g, 42 + i as u64);
+            check_mis(g, &mis).unwrap();
+        }
+    }
+
+    #[test]
+    fn mis_deterministic_for_fixed_seed() {
+        let g = rmat_graph(300, 1200, 5);
+        let a = maximal_independent_set(&g, 9);
+        let b = maximal_independent_set(&g, 9);
+        assert_eq!(a, b, "speculative MIS must be deterministic");
+    }
+
+    #[test]
+    fn matching_is_valid() {
+        for (i, g) in [rmat_graph(400, 1600, 6), rand_local_graph(500, 4, 7)]
+            .iter()
+            .enumerate()
+        {
+            let (matched, k) = maximal_matching(g, 11 + i as u64);
+            check_matching(g, &matched, k).unwrap();
+        }
+    }
+
+    #[test]
+    fn matching_deterministic_for_fixed_seed() {
+        let g = rand_local_graph(400, 4, 8);
+        let (a, ka) = maximal_matching(&g, 5);
+        let (b, kb) = maximal_matching(&g, 5);
+        assert_eq!((a, ka), (b, kb));
+    }
+
+    #[test]
+    fn spanning_forest_is_valid() {
+        for g in [
+            rmat_graph(500, 1000, 9),
+            rand_local_graph(700, 3, 10),
+            grid_graph_2d(12),
+            Graph::from_edges(5, &[]), // edgeless
+        ] {
+            let forest = spanning_forest(&g);
+            check_spanning_forest(&g, &forest).unwrap();
+        }
+    }
+
+    #[test]
+    fn msf_weight_matches_sequential_kruskal() {
+        for (i, g) in [
+            rmat_graph(400, 1600, 31),
+            rand_local_graph(600, 4, 32),
+            grid_graph_2d(14),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let w = edge_weights(g, 100 + i as u64);
+            let forest = min_spanning_forest(g, &w);
+            check_spanning_forest(g, &forest).unwrap();
+            let total: u128 = forest.iter().map(|&e| w[e] as u128).sum();
+            assert_eq!(
+                total,
+                msf_weight_seq(g, &w),
+                "MSF weight mismatch on graph {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn msf_is_deterministic() {
+        let g = rmat_graph(300, 1500, 33);
+        let w = edge_weights(&g, 7);
+        assert_eq!(min_spanning_forest(&g, &w), min_spanning_forest(&g, &w));
+    }
+
+    #[test]
+    fn msf_triangle_picks_light_edges() {
+        // Triangle 0-1-2: weights chosen so the heaviest edge is excluded.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        // edge_list is sorted: [(0,1), (0,2), (1,2)]
+        let w = vec![1u64, 10, 2];
+        let forest = min_spanning_forest(&g, &w);
+        assert_eq!(forest, vec![0, 2], "must pick weights 1 and 2");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = random_permutation(1000, 3);
+        let mut s = p.clone();
+        s.sort_unstable();
+        assert!(s.iter().enumerate().all(|(i, &x)| x == i as u32));
+        assert_ne!(p, s, "should be shuffled");
+    }
+}

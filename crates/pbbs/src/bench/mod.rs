@@ -1,0 +1,12 @@
+//! The benchmark algorithm implementations, one module per PBBS problem
+//! family. Each module exposes a parallel implementation (built on
+//! `parlay-rs`), a sequential reference, and a checker.
+
+pub mod classify;
+pub mod geometry;
+pub mod graphs;
+pub mod nbody;
+pub mod seq_ops;
+pub mod sorting;
+pub mod strings;
+pub mod text_ops;

@@ -1,0 +1,225 @@
+//! `nbody`: one gravitational force-calculation step with a Barnes–Hut
+//! octree (θ-approximation), the PBBS n-body workload shape. PBBS uses the
+//! Callahan–Kosaraju well-separated pair decomposition; Barnes–Hut is the
+//! classic substitute with the same irregular-tree task structure
+//! (substitution recorded in DESIGN.md).
+
+use lcws_core::join;
+use parlay_rs::primitives::tabulate;
+
+use crate::gen::geom::Point3;
+
+/// Opening criterion: a cell of width `w` at distance `d` is summarized
+/// when `w / d < THETA`.
+const THETA: f64 = 0.5;
+/// Max bodies per leaf.
+const LEAF: usize = 16;
+/// Softening to avoid singular forces between near-coincident bodies.
+const SOFTENING2: f64 = 1e-9;
+
+/// An octree node over a cubic region.
+struct Cell {
+    half: f64,
+    mass: f64,
+    com: Point3,
+    children: Vec<Cell>,
+    /// Body indices for leaf cells.
+    bodies: Vec<u32>,
+}
+
+impl Cell {
+    fn build(pts: &[Point3], ids: Vec<u32>, center: Point3, half: f64, depth: usize) -> Cell {
+        let mass = ids.len() as f64;
+        let com = if ids.is_empty() {
+            center
+        } else {
+            let (sx, sy, sz) = ids.iter().fold((0.0, 0.0, 0.0), |(x, y, z), &i| {
+                let p = pts[i as usize];
+                (x + p.x, y + p.y, z + p.z)
+            });
+            Point3::new(sx / mass, sy / mass, sz / mass)
+        };
+        if ids.len() <= LEAF || depth > 40 {
+            return Cell {
+                half,
+                mass,
+                com,
+                children: Vec::new(),
+                bodies: ids,
+            };
+        }
+        // Partition into octants.
+        let mut buckets: Vec<Vec<u32>> = (0..8).map(|_| Vec::new()).collect();
+        for &i in &ids {
+            let p = pts[i as usize];
+            let o = ((p.x >= center.x) as usize)
+                | (((p.y >= center.y) as usize) << 1)
+                | (((p.z >= center.z) as usize) << 2);
+            buckets[o].push(i);
+        }
+        let q = half / 2.0;
+        // Build the eight children with nested fork-join (irregular tree
+        // parallelism — the workload shape this benchmark contributes).
+        let child_centers: Vec<Point3> = (0..8)
+            .map(|o| {
+                Point3::new(
+                    center.x + if o & 1 != 0 { q } else { -q },
+                    center.y + if o & 2 != 0 { q } else { -q },
+                    center.z + if o & 4 != 0 { q } else { -q },
+                )
+            })
+            .collect();
+        let mut iter = buckets.into_iter().zip(child_centers);
+        let mut build_one = || {
+            let (ids, c) = iter.next().unwrap();
+            move || Cell::build(pts, ids, c, q, depth + 1)
+        };
+        // 8 children as a balanced join tree.
+        let (c0, c1, c2, c3, c4, c5, c6, c7) = {
+            let f0 = build_one();
+            let f1 = build_one();
+            let f2 = build_one();
+            let f3 = build_one();
+            let f4 = build_one();
+            let f5 = build_one();
+            let f6 = build_one();
+            let f7 = build_one();
+            let ((a, b), (c, d)) = join(
+                || join(|| join(f0, f1), || join(f2, f3)),
+                || join(|| join(f4, f5), || join(f6, f7)),
+            );
+            (a.0, a.1, b.0, b.1, c.0, c.1, d.0, d.1)
+        };
+        Cell {
+            half,
+            mass,
+            com,
+            children: vec![c0, c1, c2, c3, c4, c5, c6, c7],
+            bodies: Vec::new(),
+        }
+    }
+
+    fn force_on(&self, pts: &[Point3], q: usize, acc: &mut Point3) {
+        if self.mass == 0.0 {
+            return;
+        }
+        let p = pts[q];
+        if self.children.is_empty() {
+            for &i in &self.bodies {
+                if i as usize != q {
+                    accumulate(&pts[i as usize], 1.0, &p, acc);
+                }
+            }
+            return;
+        }
+        let d2 = self.com.dist2(&p).max(SOFTENING2);
+        let width = self.half * 2.0;
+        if width * width < THETA * THETA * d2 {
+            accumulate(&self.com, self.mass, &p, acc);
+        } else {
+            for c in &self.children {
+                c.force_on(pts, q, acc);
+            }
+        }
+    }
+}
+
+#[inline]
+fn accumulate(src: &Point3, mass: f64, at: &Point3, acc: &mut Point3) {
+    let dx = src.x - at.x;
+    let dy = src.y - at.y;
+    let dz = src.z - at.z;
+    let d2 = (dx * dx + dy * dy + dz * dz) + SOFTENING2;
+    let inv = mass / (d2 * d2.sqrt());
+    acc.x += dx * inv;
+    acc.y += dy * inv;
+    acc.z += dz * inv;
+}
+
+/// One Barnes–Hut force step: acceleration on every unit-mass body.
+pub fn nbody_forces(pts: &[Point3]) -> Vec<Point3> {
+    if pts.is_empty() {
+        return Vec::new();
+    }
+    // Bounding cube.
+    let mut lo = pts[0];
+    let mut hi = pts[0];
+    for p in pts {
+        lo = Point3::new(lo.x.min(p.x), lo.y.min(p.y), lo.z.min(p.z));
+        hi = Point3::new(hi.x.max(p.x), hi.y.max(p.y), hi.z.max(p.z));
+    }
+    let center = Point3::new((lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0, (lo.z + hi.z) / 2.0);
+    let half = ((hi.x - lo.x).max(hi.y - lo.y).max(hi.z - lo.z) / 2.0).max(1e-12) * 1.0001;
+    let root = Cell::build(pts, (0..pts.len() as u32).collect(), center, half, 0);
+    tabulate(pts.len(), |q| {
+        let mut acc = Point3::new(0.0, 0.0, 0.0);
+        root.force_on(pts, q, &mut acc);
+        acc
+    })
+}
+
+/// Exact O(n²) reference forces.
+pub fn nbody_forces_exact(pts: &[Point3]) -> Vec<Point3> {
+    (0..pts.len())
+        .map(|q| {
+            let mut acc = Point3::new(0.0, 0.0, 0.0);
+            for (i, p) in pts.iter().enumerate() {
+                if i != q {
+                    accumulate(p, 1.0, &pts[q], &mut acc);
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::geom::{points_in_cube_3d, points_plummer_3d};
+
+    fn magnitude(p: &Point3) -> f64 {
+        (p.x * p.x + p.y * p.y + p.z * p.z).sqrt()
+    }
+
+    #[test]
+    fn two_bodies_attract_equally_and_oppositely() {
+        let pts = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 0.0, 0.0)];
+        let f = nbody_forces(&pts);
+        assert!(f[0].x > 0.9 && f[1].x < -0.9);
+        assert!((f[0].x + f[1].x).abs() < 1e-9);
+        assert!(f[0].y.abs() < 1e-12 && f[0].z.abs() < 1e-12);
+    }
+
+    #[test]
+    fn barnes_hut_approximates_exact_forces() {
+        let pts = points_in_cube_3d(800, 1);
+        let approx = nbody_forces(&pts);
+        let exact = nbody_forces_exact(&pts);
+        let mut rel_err_sum = 0.0;
+        for (a, e) in approx.iter().zip(&exact) {
+            let diff = Point3::new(a.x - e.x, a.y - e.y, a.z - e.z);
+            rel_err_sum += magnitude(&diff) / magnitude(e).max(1e-9);
+        }
+        let avg_rel = rel_err_sum / pts.len() as f64;
+        assert!(
+            avg_rel < 0.05,
+            "θ=0.5 should give ~1% average force error, got {avg_rel:.4}"
+        );
+    }
+
+    #[test]
+    fn plummer_distribution_runs() {
+        let pts = points_plummer_3d(2_000, 2);
+        let f = nbody_forces(&pts);
+        assert_eq!(f.len(), pts.len());
+        assert!(f.iter().all(|p| p.x.is_finite() && p.y.is_finite() && p.z.is_finite()));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(nbody_forces(&[]).is_empty());
+        let one = nbody_forces(&[Point3::new(1.0, 2.0, 3.0)]);
+        assert_eq!(magnitude(&one[0]), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! `histogram` and `removeDuplicates`.
+
+use parlay_rs::hashtable::ConcurrentSet;
+use parlay_rs::primitives::{par_blocks, tabulate, tabulate_grain};
+
+/// Parallel histogram of `keys` into `buckets` counters, PBBS-style:
+/// per-block private counting followed by a tree reduction over the block
+/// count arrays (no atomics on the hot path).
+pub fn histogram(keys: &[u64], buckets: usize) -> Vec<u64> {
+    let n = keys.len();
+    if n == 0 {
+        return vec![0; buckets];
+    }
+    let grain = lcws_core::default_grain(n).max(buckets / 4);
+    let blocks = n.div_ceil(grain);
+    let partials: Vec<Vec<u64>> = tabulate_grain(blocks, 1, |b| {
+        let lo = b * grain;
+        let hi = ((b + 1) * grain).min(n);
+        let mut counts = vec![0u64; buckets];
+        for &k in &keys[lo..hi] {
+            counts[(k as usize) % buckets] += 1;
+        }
+        counts
+    });
+    // Reduce the block count arrays bucket-wise, in parallel over buckets.
+    tabulate(buckets, |d| partials.iter().map(|p| p[d]).sum())
+}
+
+/// Sequential reference histogram.
+pub fn histogram_seq(keys: &[u64], buckets: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; buckets];
+    for &k in keys {
+        counts[(k as usize) % buckets] += 1;
+    }
+    counts
+}
+
+/// Parallel `removeDuplicates` via the phase-concurrent hash set; returns
+/// the distinct keys in **sorted** order for deterministic comparison
+/// (PBBS checks set equality; sorting makes the checksum canonical).
+pub fn remove_duplicates(keys: &[u64]) -> Vec<u64> {
+    let set = ConcurrentSet::with_capacity(keys.len().max(16));
+    par_blocks(keys, lcws_core::default_grain(keys.len()), |_b, block| {
+        for &k in block {
+            set.insert(k);
+        }
+    });
+    let mut out = set.elements();
+    parlay_rs::integer_sort(&mut out);
+    out
+}
+
+/// Sequential reference for `removeDuplicates` (sorted distinct keys).
+pub fn remove_duplicates_seq(keys: &[u64]) -> Vec<u64> {
+    let mut v = keys.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::seqs;
+
+    #[test]
+    fn histogram_matches_sequential() {
+        let keys = seqs::random_seq(40_000, 1_000, 1);
+        assert_eq!(histogram(&keys, 1_000), histogram_seq(&keys, 1_000));
+    }
+
+    #[test]
+    fn histogram_few_buckets() {
+        let keys = seqs::random_seq(40_000, 256, 2);
+        let h = histogram(&keys, 256);
+        assert_eq!(h.iter().sum::<u64>(), 40_000);
+        assert_eq!(h, histogram_seq(&keys, 256));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        assert_eq!(histogram(&[], 8), vec![0u64; 8]);
+    }
+
+    #[test]
+    fn remove_duplicates_matches_sequential() {
+        let keys = seqs::random_seq(30_000, 5_000, 3); // heavy duplication
+        assert_eq!(remove_duplicates(&keys), remove_duplicates_seq(&keys));
+    }
+
+    #[test]
+    fn remove_duplicates_all_unique_and_all_same() {
+        let unique: Vec<u64> = (0..10_000).collect();
+        assert_eq!(remove_duplicates(&unique), unique);
+        let same = vec![42u64; 10_000];
+        assert_eq!(remove_duplicates(&same), vec![42]);
+    }
+}

@@ -1,0 +1,80 @@
+//! `integerSort` and `comparisonSort`.
+
+use parlay_rs::sort::{integer_sort, integer_sort_by_key, sample_sort_by};
+
+/// Parallel integer sort of `u64` keys (stable LSD radix).
+pub fn integer_sort_bench(data: &mut [u64]) {
+    integer_sort(data);
+}
+
+/// Parallel integer sort of key-value pairs by key.
+pub fn integer_sort_pairs_bench(data: &mut [(u64, u64)]) {
+    integer_sort_by_key(data, |p| p.0);
+}
+
+/// Parallel comparison sort of doubles — **sample sort**, the algorithm
+/// PBBS's `comparisonSort` uses. NaNs are not present in PBBS inputs;
+/// total order via `total_cmp`.
+pub fn comparison_sort_bench(data: &mut [f64]) {
+    sample_sort_by(data, |a, b| a.total_cmp(b));
+}
+
+/// Parallel comparison sort of strings (sample sort).
+pub fn comparison_sort_strings_bench(data: &mut [String]) {
+    sample_sort_by(data, |a, b| a.cmp(b));
+}
+
+/// Is `data` sorted (non-decreasing) under `cmp`?
+pub fn is_sorted_by<T, C: Fn(&T, &T) -> std::cmp::Ordering>(data: &[T], cmp: C) -> bool {
+    data.windows(2)
+        .all(|w| cmp(&w[0], &w[1]) != std::cmp::Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::seqs;
+
+    #[test]
+    fn integer_sort_bench_sorts() {
+        let mut v = seqs::random_seq(30_000, u64::MAX, 1);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        integer_sort_bench(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn pair_sort_is_stable_on_small_keys() {
+        let mut v = seqs::random_pair_seq(20_000, 256, 2);
+        let mut expected = v.clone();
+        expected.sort_by_key(|p| p.0);
+        integer_sort_pairs_bench(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn double_sort_matches_std() {
+        let mut v = seqs::expt_f64_seq(25_000, 3);
+        let mut expected = v.clone();
+        expected.sort_by(|a, b| a.total_cmp(b));
+        comparison_sort_bench(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn string_sort_matches_std() {
+        let mut v = crate::gen::text::trigram_words(8_000, 4);
+        let mut expected = v.clone();
+        expected.sort();
+        comparison_sort_strings_bench(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn almost_sorted_input() {
+        let mut v = seqs::almost_sorted_seq(20_000, 5);
+        integer_sort_bench(&mut v);
+        assert!(is_sorted_by(&v, |a, b| a.cmp(b)));
+    }
+}

@@ -1,0 +1,167 @@
+//! String benchmarks: `suffixArray` (parallel prefix doubling) and
+//! `longestRepeatedSubstring` (suffix array + LCP).
+
+use parlay_rs::primitives::tabulate;
+use parlay_rs::sort::integer_sort_by_key;
+
+/// Parallel suffix array by prefix doubling: O(log n) rounds, each a
+/// parallel radix sort of `(rank[i], rank[i+k])` pairs.
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(n < u32::MAX as usize / 2);
+    // Initial ranks: the bytes themselves (+1 so 0 can mean "past the end").
+    let mut rank: Vec<u32> = tabulate(n, |i| text[i] as u32 + 1);
+    let mut sa: Vec<u32> = tabulate(n, |i| i as u32);
+    let mut k = 1usize;
+    loop {
+        // Sort suffixes by (rank[i], rank[i+k]) packed into one u64.
+        let key = |&i: &u32| -> u64 {
+            let r1 = rank[i as usize] as u64;
+            let r2 = if (i as usize) + k < n {
+                rank[i as usize + k] as u64
+            } else {
+                0
+            };
+            (r1 << 32) | r2
+        };
+        integer_sort_by_key(&mut sa, key);
+        // Re-rank: same key as predecessor → same rank.
+        let new_rank_of_pos: Vec<u32> = {
+            let flags: Vec<u32> =
+                tabulate(n, |j| u32::from(j > 0 && key(&sa[j]) != key(&sa[j - 1])));
+            let ranks_in_order = parlay_rs::scan_inclusive(&flags, 0u32, |a, b| a + b);
+            // Scatter back to positions: new_rank[sa[j]] = ranks[j] + 1.
+            let mut out = vec![0u32; n];
+            {
+                let slots = parlay_rs::primitives::UnsafeSlice::new(&mut out);
+                lcws_core::par_for(0..n, |j| unsafe {
+                    // Safety: sa is a permutation, so writes are disjoint.
+                    slots.write(sa[j] as usize, ranks_in_order[j] + 1);
+                });
+            }
+            out
+        };
+        let distinct = new_rank_of_pos[sa[n - 1] as usize];
+        rank = new_rank_of_pos;
+        if distinct as usize == n {
+            break;
+        }
+        k *= 2;
+        if k >= 2 * n {
+            break; // all suffixes distinguished by length alone
+        }
+    }
+    sa
+}
+
+/// Sequential reference suffix array (std sort over suffix slices).
+pub fn suffix_array_seq(text: &[u8]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+/// LCP array via Kasai's algorithm: `lcp[j]` = longest common prefix of
+/// suffixes `sa[j]` and `sa[j+1]`. Linear-time sequential pass (the timed
+/// benchmark work is dominated by the parallel suffix array).
+pub fn lcp_array(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![0u32; n];
+    for (j, &p) in sa.iter().enumerate() {
+        rank[p as usize] = j as u32;
+    }
+    let mut lcp = vec![0u32; n.saturating_sub(1)];
+    let mut h = 0usize;
+    for i in 0..n {
+        let r = rank[i] as usize;
+        if r + 1 < n {
+            let j = sa[r + 1] as usize;
+            while i + h < n && j + h < n && text[i + h] == text[j + h] {
+                h += 1;
+            }
+            lcp[r] = h as u32;
+            h = h.saturating_sub(1);
+        } else {
+            h = 0;
+        }
+    }
+    lcp
+}
+
+/// Longest repeated substring: `(length, start)` of the longest substring
+/// occurring at least twice (via max LCP).
+pub fn longest_repeated_substring(text: &[u8]) -> (u32, u32) {
+    let sa = suffix_array(text);
+    let lcp = lcp_array(text, &sa);
+    match parlay_rs::max_element(&lcp) {
+        Some(j) => (lcp[j], sa[j]),
+        None => (0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::text::{dna_string, trigram_string};
+
+    #[test]
+    fn suffix_array_banana() {
+        let sa = suffix_array(b"banana");
+        assert_eq!(sa, suffix_array_seq(b"banana"));
+        assert_eq!(sa, vec![5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn suffix_array_matches_reference_on_generators() {
+        for text in [dna_string(3_000, 1), trigram_string(3_000, 2)] {
+            assert_eq!(suffix_array(&text), suffix_array_seq(&text));
+        }
+    }
+
+    #[test]
+    fn suffix_array_pathological_inputs() {
+        assert!(suffix_array(b"").is_empty());
+        assert_eq!(suffix_array(b"a"), vec![0]);
+        // All-equal text: suffixes sort by decreasing start position.
+        let same = vec![b'x'; 500];
+        let sa = suffix_array(&same);
+        assert_eq!(sa, (0..500u32).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lcp_banana() {
+        let text = b"banana";
+        let sa = suffix_array(text);
+        let lcp = lcp_array(text, &sa);
+        // suffixes: a, ana, anana, banana, na, nana
+        assert_eq!(lcp, vec![1, 3, 0, 0, 2]);
+    }
+
+    #[test]
+    fn lrs_finds_known_repeat() {
+        let (len, start) = longest_repeated_substring(b"abcdefabcdxyz");
+        assert_eq!(len, 4); // "abcd"
+        let s = &b"abcdefabcdxyz"[start as usize..start as usize + len as usize];
+        assert_eq!(s, b"abcd");
+    }
+
+    #[test]
+    fn lrs_on_dna() {
+        let text = dna_string(2_000, 7);
+        let (len, start) = longest_repeated_substring(&text);
+        assert!(len >= 4, "random DNA of 2k certainly repeats 4-mers");
+        // The reported substring must indeed appear twice.
+        let needle = &text[start as usize..(start + len) as usize];
+        let occurrences = text
+            .windows(needle.len())
+            .filter(|w| *w == needle)
+            .count();
+        assert!(occurrences >= 2, "substring must repeat: {occurrences}");
+    }
+}

@@ -1,0 +1,135 @@
+//! `wordCounts` and `invertedIndex`.
+
+use std::collections::BTreeMap;
+
+use parlay_rs::primitives::{pack_index, tabulate};
+use parlay_rs::sort::sort_by;
+
+/// Parallel word counting: sort-based (sort the words, then find segment
+/// boundaries with a parallel pack — the PBBS `group_by` strategy).
+/// Returns `(word, count)` pairs sorted by word.
+pub fn word_counts(words: &[String]) -> Vec<(String, u64)> {
+    let n = words.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut sorted = words.to_vec();
+    sort_by(&mut sorted, |a, b| a.cmp(b));
+    let starts: Vec<bool> = tabulate(n, |i| i == 0 || sorted[i] != sorted[i - 1]);
+    let idx = pack_index(&starts);
+    tabulate(idx.len(), |k| {
+        let lo = idx[k];
+        let hi = if k + 1 < idx.len() { idx[k + 1] } else { n };
+        (sorted[lo].clone(), (hi - lo) as u64)
+    })
+}
+
+/// Sequential reference for [`word_counts`].
+pub fn word_counts_seq(words: &[String]) -> Vec<(String, u64)> {
+    let mut m: BTreeMap<&String, u64> = BTreeMap::new();
+    for w in words {
+        *m.entry(w).or_default() += 1;
+    }
+    m.into_iter().map(|(w, c)| (w.clone(), c)).collect()
+}
+
+/// Parallel inverted index: for each word, the sorted list of document ids
+/// containing it. Sort-based: build (word, doc) pairs per document, sort by
+/// (word, doc), dedup, then segment. Returns postings sorted by word.
+pub fn inverted_index(docs: &[Vec<String>]) -> Vec<(String, Vec<u32>)> {
+    // Flatten (word, doc) pairs in parallel.
+    let pairs_nested: Vec<Vec<(String, u32)>> = tabulate(docs.len(), |d| {
+        docs[d]
+            .iter()
+            .map(|w| (w.clone(), d as u32))
+            .collect::<Vec<_>>()
+    });
+    let mut pairs = parlay_rs::flatten(&pairs_nested);
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    sort_by(&mut pairs, |a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    let n = pairs.len();
+    // Drop duplicate (word, doc) pairs.
+    let keep: Vec<bool> = tabulate(n, |i| i == 0 || pairs[i] != pairs[i - 1]);
+    let kept = pack_index(&keep);
+    let deduped: Vec<&(String, u32)> = kept.iter().map(|&i| &pairs[i]).collect();
+    let m = deduped.len();
+    // Word segment boundaries.
+    let starts: Vec<bool> = tabulate(m, |i| i == 0 || deduped[i].0 != deduped[i - 1].0);
+    let seg = pack_index(&starts);
+    tabulate(seg.len(), |k| {
+        let lo = seg[k];
+        let hi = if k + 1 < seg.len() { seg[k + 1] } else { m };
+        (
+            deduped[lo].0.clone(),
+            deduped[lo..hi].iter().map(|p| p.1).collect(),
+        )
+    })
+}
+
+/// Sequential reference for [`inverted_index`].
+pub fn inverted_index_seq(docs: &[Vec<String>]) -> Vec<(String, Vec<u32>)> {
+    let mut m: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    for (d, doc) in docs.iter().enumerate() {
+        for w in doc {
+            let entry = m.entry(w.clone()).or_default();
+            if entry.last() != Some(&(d as u32)) {
+                entry.push(d as u32);
+            }
+        }
+    }
+    // Document passes may visit a word twice non-adjacently; dedup fully.
+    m.into_iter()
+        .map(|(w, mut ds)| {
+            ds.sort_unstable();
+            ds.dedup();
+            (w, ds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::text;
+
+    #[test]
+    fn word_counts_matches_sequential() {
+        let words = text::trigram_words(15_000, 1);
+        assert_eq!(word_counts(&words), word_counts_seq(&words));
+    }
+
+    #[test]
+    fn word_counts_empty_and_single() {
+        assert!(word_counts(&[]).is_empty());
+        let one = vec!["hello".to_string()];
+        assert_eq!(word_counts(&one), vec![("hello".to_string(), 1)]);
+    }
+
+    #[test]
+    fn counts_sum_to_input_length() {
+        let words = text::trigram_words(9_999, 2);
+        let total: u64 = word_counts(&words).iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 9_999);
+    }
+
+    #[test]
+    fn inverted_index_matches_sequential() {
+        let docs = text::documents(120, 40, 3);
+        assert_eq!(inverted_index(&docs), inverted_index_seq(&docs));
+    }
+
+    #[test]
+    fn inverted_index_postings_sorted_unique() {
+        let docs = text::documents(60, 30, 4);
+        for (_, postings) in inverted_index(&docs) {
+            assert!(postings.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn inverted_index_empty() {
+        assert!(inverted_index(&[]).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Geometry generators: `2DinCube`, `2DinSphere`, `2Dkuzmin`, `3DinCube`,
+//! `3DonSphere`, `3Dplummer` — PBBS's point distributions for convex hull,
+//! nearest neighbors and n-body.
+
+use parlay_rs::random::Random;
+use parlay_rs::tabulate;
+
+/// A 2-d point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point2 {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Constructor.
+    pub fn new(x: f64, y: f64) -> Point2 {
+        Point2 { x, y }
+    }
+
+    /// Squared Euclidean distance.
+    pub fn dist2(&self, o: &Point2) -> f64 {
+        let dx = self.x - o.x;
+        let dy = self.y - o.y;
+        dx * dx + dy * dy
+    }
+
+    /// Twice the signed area of triangle `(a, b, c)`; positive when `c` is
+    /// left of the directed line `a → b`.
+    pub fn cross(a: &Point2, b: &Point2, c: &Point2) -> f64 {
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    }
+}
+
+/// A 3-d point (also used as a vector).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point3 {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+    /// z coordinate.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Constructor.
+    pub fn new(x: f64, y: f64, z: f64) -> Point3 {
+        Point3 { x, y, z }
+    }
+
+    /// Squared Euclidean distance.
+    pub fn dist2(&self, o: &Point3) -> f64 {
+        let dx = self.x - o.x;
+        let dy = self.y - o.y;
+        let dz = self.z - o.z;
+        dx * dx + dy * dy + dz * dz
+    }
+}
+
+/// Uniform points in the unit square (`2DinCube`).
+pub fn points_in_cube_2d(n: usize, seed: u64) -> Vec<Point2> {
+    let r = Random::new(seed ^ 0x2D01);
+    tabulate(n, |i| {
+        Point2::new(r.ith_f64(2 * i as u64), r.ith_f64(2 * i as u64 + 1))
+    })
+}
+
+/// Uniform points *inside* the unit disk (`2DinSphere`) via rejection-free
+/// polar sampling.
+pub fn points_in_sphere_2d(n: usize, seed: u64) -> Vec<Point2> {
+    let r = Random::new(seed ^ 0x2D02);
+    tabulate(n, |i| {
+        let rad = r.ith_f64(2 * i as u64).sqrt();
+        let theta = r.ith_f64(2 * i as u64 + 1) * std::f64::consts::TAU;
+        Point2::new(rad * theta.cos(), rad * theta.sin())
+    })
+}
+
+/// Kuzmin distribution (`2Dkuzmin`): heavily concentrated near the origin
+/// with a long radial tail — the hull-unfriendly distribution.
+pub fn points_kuzmin_2d(n: usize, seed: u64) -> Vec<Point2> {
+    let r = Random::new(seed ^ 0x2D03);
+    tabulate(n, |i| {
+        let u = r.ith_f64(2 * i as u64).min(1.0 - 1e-12);
+        // Inverse CDF of the Kuzmin disk: r = sqrt((1-u)^-2 - 1).
+        let rad = ((1.0 - u).powi(-2) - 1.0).sqrt();
+        let theta = r.ith_f64(2 * i as u64 + 1) * std::f64::consts::TAU;
+        Point2::new(rad * theta.cos(), rad * theta.sin())
+    })
+}
+
+/// Uniform points in the unit cube (`3DinCube`).
+pub fn points_in_cube_3d(n: usize, seed: u64) -> Vec<Point3> {
+    let r = Random::new(seed ^ 0x3D01);
+    tabulate(n, |i| {
+        Point3::new(
+            r.ith_f64(3 * i as u64),
+            r.ith_f64(3 * i as u64 + 1),
+            r.ith_f64(3 * i as u64 + 2),
+        )
+    })
+}
+
+/// Uniform points *on* the unit sphere (`3DonSphere`).
+pub fn points_on_sphere_3d(n: usize, seed: u64) -> Vec<Point3> {
+    let r = Random::new(seed ^ 0x3D02);
+    tabulate(n, |i| {
+        let z = 2.0 * r.ith_f64(2 * i as u64) - 1.0;
+        let theta = r.ith_f64(2 * i as u64 + 1) * std::f64::consts::TAU;
+        let rad = (1.0 - z * z).sqrt();
+        Point3::new(rad * theta.cos(), rad * theta.sin(), z)
+    })
+}
+
+/// Plummer model (`3Dplummer`): the astrophysical cluster distribution
+/// PBBS feeds to n-body.
+pub fn points_plummer_3d(n: usize, seed: u64) -> Vec<Point3> {
+    let r = Random::new(seed ^ 0x3D03);
+    tabulate(n, |i| {
+        let u = r.ith_f64(3 * i as u64).clamp(1e-10, 1.0 - 1e-10);
+        let rad = (u.powf(-2.0 / 3.0) - 1.0).powf(-0.5);
+        let z = 2.0 * r.ith_f64(3 * i as u64 + 1) - 1.0;
+        let theta = r.ith_f64(3 * i as u64 + 2) * std::f64::consts::TAU;
+        let xy = (1.0 - z * z).sqrt();
+        Point3::new(
+            rad * xy * theta.cos(),
+            rad * xy * theta.sin(),
+            rad * z,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_points_in_bounds() {
+        for p in points_in_cube_2d(5_000, 1) {
+            assert!((0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y));
+        }
+        for p in points_in_cube_3d(5_000, 1) {
+            assert!((0.0..1.0).contains(&p.z));
+        }
+    }
+
+    #[test]
+    fn disk_points_inside_unit_disk() {
+        for p in points_in_sphere_2d(5_000, 2) {
+            assert!(p.x * p.x + p.y * p.y <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sphere_points_on_surface() {
+        for p in points_on_sphere_3d(2_000, 3) {
+            let r2 = p.x * p.x + p.y * p.y + p.z * p.z;
+            assert!((r2 - 1.0).abs() < 1e-9, "r² = {r2}");
+        }
+    }
+
+    #[test]
+    fn kuzmin_concentrates_centrally() {
+        let pts = points_kuzmin_2d(20_000, 4);
+        let central = pts
+            .iter()
+            .filter(|p| p.dist2(&Point2::new(0.0, 0.0)) < 4.0)
+            .count();
+        assert!(central > pts.len() / 2, "kuzmin mass should sit near origin");
+    }
+
+    #[test]
+    fn cross_product_orientation() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        let left = Point2::new(0.5, 1.0);
+        let right = Point2::new(0.5, -1.0);
+        assert!(Point2::cross(&a, &b, &left) > 0.0);
+        assert!(Point2::cross(&a, &b, &right) < 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(points_in_cube_2d(100, 9), points_in_cube_2d(100, 9));
+        assert_ne!(points_in_cube_2d(100, 9), points_in_cube_2d(100, 10));
+    }
+}

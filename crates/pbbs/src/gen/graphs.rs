@@ -1,0 +1,163 @@
+//! Graph generators: `rMatGraph`, `randLocalGraph`, and grid graphs —
+//! the input families of PBBS's graph benchmarks.
+
+use parlay_rs::random::Random;
+use parlay_rs::tabulate;
+
+use crate::graph::Graph;
+
+/// Recursive-matrix (R-MAT) power-law graph, as in PBBS's `rMatGraph`
+/// (Chakrabarti–Zhan–Faloutsos parameters a=0.5, b=c=0.1, d=0.3).
+pub fn rmat_graph(n: usize, m: usize, seed: u64) -> Graph {
+    let levels = (usize::BITS - (n.max(2) - 1).leading_zeros()) as u64;
+    let size = 1usize << levels;
+    let r = Random::new(seed ^ 0x12A7);
+    let edges: Vec<(u32, u32)> = tabulate(m, |e| {
+        let (mut u, mut v) = (0usize, 0usize);
+        for l in 0..levels {
+            let x = r.ith_f64((e as u64) * levels * 2 + l);
+            let y = r.ith_f64((e as u64) * levels * 2 + levels + l);
+            // Quadrant probabilities a=0.5, b=0.1, c=0.1, d=0.3 with a
+            // little per-level noise, as in the original generator.
+            let a = 0.5 + 0.05 * (y - 0.5);
+            let (du, dv) = if x < a {
+                (0, 0)
+            } else if x < a + 0.1 {
+                (0, 1)
+            } else if x < a + 0.2 {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        (((u % size) % n) as u32, ((v % size) % n) as u32)
+    });
+    Graph::from_edges(n, &edges)
+}
+
+/// `randLocalGraph`: each vertex gets `degree` edges to nearby vertices
+/// (geometric locality in id space), PBBS's bounded-degree local graph.
+pub fn rand_local_graph(n: usize, degree: usize, seed: u64) -> Graph {
+    let r = Random::new(seed ^ 0x10CA1);
+    let edges: Vec<(u32, u32)> = tabulate(n * degree, |k| {
+        let u = k / degree;
+        let j = (k % degree) as u64;
+        // Distance drawn with a quadratic bias towards small hops.
+        let x = r.ith_f64(k as u64 * 2);
+        let span = ((n as f64).sqrt() as u64).max(2);
+        let dist = 1 + (x * x * span as f64) as u64;
+        let sign = r.ith_rand(k as u64 * 2 + 1) & 1 == 0;
+        let v = if sign {
+            (u as u64 + dist) % n as u64
+        } else {
+            (u as u64 + n as u64 - dist % n as u64) % n as u64
+        };
+        let _ = j;
+        (u as u32, v as u32)
+    });
+    Graph::from_edges(n, &edges)
+}
+
+/// 2-dimensional grid graph (each vertex linked to its lattice
+/// neighbours), PBBS's `2Dgrid`.
+pub fn grid_graph_2d(side: usize) -> Graph {
+    let n = side * side;
+    let mut edges = Vec::with_capacity(2 * n);
+    for y in 0..side {
+        for x in 0..side {
+            let v = (y * side + x) as u32;
+            if x + 1 < side {
+                edges.push((v, v + 1));
+            }
+            if y + 1 < side {
+                edges.push((v, v + side as u32));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// 3-dimensional grid graph, PBBS's `3Dgrid` (the BFS instance the paper
+/// calls out in §5.2).
+pub fn grid_graph_3d(side: usize) -> Graph {
+    let n = side * side * side;
+    let mut edges = Vec::with_capacity(3 * n);
+    let idx = |x: usize, y: usize, z: usize| (z * side * side + y * side + x) as u32;
+    for z in 0..side {
+        for y in 0..side {
+            for x in 0..side {
+                let v = idx(x, y, z);
+                if x + 1 < side {
+                    edges.push((v, idx(x + 1, y, z)));
+                }
+                if y + 1 < side {
+                    edges.push((v, idx(x, y + 1, z)));
+                }
+                if z + 1 < side {
+                    edges.push((v, idx(x, y, z + 1)));
+                }
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat_graph(1 << 10, 4 << 10, 7);
+        assert_eq!(g.num_vertices(), 1 << 10);
+        assert!(g.num_edges() > 1000, "most edges survive dedup");
+        // Power-law-ish: max degree far above average.
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.degree(v as u32))
+            .max()
+            .unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max_deg as f64 > 3.0 * avg,
+            "rMAT should be skewed: max {max_deg}, avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn rand_local_shape() {
+        let g = rand_local_graph(2_000, 4, 3);
+        assert_eq!(g.num_vertices(), 2_000);
+        assert!(g.num_edges() > 4_000);
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.degree(v as u32))
+            .max()
+            .unwrap();
+        assert!(max_deg < 100, "local graphs have bounded degree: {max_deg}");
+    }
+
+    #[test]
+    fn grid_2d_degrees() {
+        let g = grid_graph_2d(10);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 2 * 10 * 9);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 3); // edge
+        assert_eq!(g.degree(55), 4); // interior
+    }
+
+    #[test]
+    fn grid_3d_edge_count() {
+        let g = grid_graph_3d(5);
+        assert_eq!(g.num_vertices(), 125);
+        assert_eq!(g.num_edges(), 3 * 5 * 5 * 4);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = rmat_graph(256, 1024, 11);
+        let b = rmat_graph(256, 1024, 11);
+        assert_eq!(a.edge_list(), b.edge_list());
+    }
+}

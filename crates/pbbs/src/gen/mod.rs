@@ -1,0 +1,9 @@
+//! PBBS input generators: deterministic, parallel, seedless-reproducible
+//! workload builders matching the suite's instance families.
+
+pub mod geom;
+pub mod graphs;
+pub mod seqs;
+pub mod text;
+
+pub use geom::{Point2, Point3};

@@ -1,0 +1,130 @@
+//! Sequence generators: `randomSeq`, `exptSeq`, `almostSortedSeq` and the
+//! pair variants, mirroring PBBS's `sequenceData` generators.
+
+use parlay_rs::random::Random;
+use parlay_rs::tabulate;
+
+/// `randomSeq_<n>_int`: uniform random 64-bit values in `[0, range)`.
+pub fn random_seq(n: usize, range: u64, seed: u64) -> Vec<u64> {
+    let r = Random::new(seed);
+    tabulate(n, |i| r.ith_in_range(i as u64, 0, range.max(1)))
+}
+
+/// `exptSeq_<n>_int`: exponentially distributed values (many small keys,
+/// a long tail), PBBS's skewed integer workload.
+pub fn expt_seq(n: usize, range: u64, seed: u64) -> Vec<u64> {
+    let r = Random::new(seed ^ 0xE19A);
+    let range = range.max(2) as f64;
+    let lambda = range.ln();
+    tabulate(n, |i| {
+        let u = r.ith_f64(i as u64).max(f64::MIN_POSITIVE);
+        // Inverse-CDF sampling clipped to the range.
+        let v = (-u.ln() / lambda * range).min(range - 1.0);
+        v as u64
+    })
+}
+
+/// `almostSortedSeq_<n>`: `0..n` with ~`sqrt(n)` random transpositions.
+pub fn almost_sorted_seq(n: usize, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = tabulate(n, |i| i as u64);
+    let r = Random::new(seed ^ 0xA5A5);
+    let swaps = (n as f64).sqrt() as u64;
+    for k in 0..swaps {
+        let i = r.ith_in_range(2 * k, 0, n as u64) as usize;
+        let j = r.ith_in_range(2 * k + 1, 0, n as u64) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// `randomSeq_<n>_int_pair_int`: key-value pairs with uniform keys.
+pub fn random_pair_seq(n: usize, key_range: u64, seed: u64) -> Vec<(u64, u64)> {
+    let r = Random::new(seed ^ 0x9AB1);
+    tabulate(n, |i| {
+        (
+            r.ith_in_range(2 * i as u64, 0, key_range.max(1)),
+            r.ith_rand(2 * i as u64 + 1),
+        )
+    })
+}
+
+/// Uniform random doubles in `[0, 1)` (`randomSeq_<n>_double`).
+pub fn random_f64_seq(n: usize, seed: u64) -> Vec<f64> {
+    let r = Random::new(seed ^ 0xD0B1);
+    tabulate(n, |i| r.ith_f64(i as u64))
+}
+
+/// Exponentially distributed doubles (`exptSeq_<n>_double`).
+pub fn expt_f64_seq(n: usize, seed: u64) -> Vec<f64> {
+    let r = Random::new(seed ^ 0xE4D);
+    tabulate(n, |i| -r.ith_f64(i as u64).max(f64::MIN_POSITIVE).ln())
+}
+
+/// Almost-sorted doubles.
+pub fn almost_sorted_f64_seq(n: usize, seed: u64) -> Vec<f64> {
+    let mut v: Vec<f64> = tabulate(n, |i| i as f64);
+    let r = Random::new(seed ^ 0x50F7);
+    let swaps = (n as f64).sqrt() as u64;
+    for k in 0..swaps {
+        let i = r.ith_in_range(2 * k, 0, n as u64) as usize;
+        let j = r.ith_in_range(2 * k + 1, 0, n as u64) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_seq_deterministic_in_range() {
+        let a = random_seq(10_000, 1000, 1);
+        let b = random_seq(10_000, 1000, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x < 1000));
+        let c = random_seq(10_000, 1000, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn expt_seq_is_skewed_low() {
+        let v = expt_seq(50_000, 1_000_000, 3);
+        assert!(v.iter().all(|&x| x < 1_000_000));
+        let below_tenth = v.iter().filter(|&&x| x < 100_000).count();
+        assert!(
+            below_tenth > v.len() / 2,
+            "exponential data should concentrate low: {below_tenth}/{}",
+            v.len()
+        );
+    }
+
+    #[test]
+    fn almost_sorted_is_mostly_sorted() {
+        let v = almost_sorted_seq(10_000, 5);
+        let inversions = v.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 0, "some disorder expected");
+        assert!(inversions < 500, "should be almost sorted: {inversions}");
+        // Still a permutation of 0..n.
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert!(s.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn pair_seq_key_range() {
+        let v = random_pair_seq(5_000, 256, 9);
+        assert!(v.iter().all(|&(k, _)| k < 256));
+    }
+
+    #[test]
+    fn f64_seqs_shapes() {
+        let u = random_f64_seq(5_000, 1);
+        assert!(u.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let e = expt_f64_seq(5_000, 1);
+        assert!(e.iter().all(|&x| x >= 0.0));
+        let a = almost_sorted_f64_seq(5_000, 1);
+        let inversions = a.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions < 300);
+    }
+}

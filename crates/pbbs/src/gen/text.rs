@@ -1,0 +1,130 @@
+//! Text generators: the trigram word/string distributions PBBS uses for
+//! its string benchmarks (`wordCounts`, `invertedIndex`, `suffixArray`),
+//! plus a synthetic document collection standing in for the `wikipedia`
+//! input (which is proprietary-licensed data we substitute per DESIGN.md).
+
+use parlay_rs::random::Random;
+use parlay_rs::tabulate;
+
+/// A word drawn from a letter-trigram Markov chain (like PBBS's
+/// `trigramWords`): produces Zipf-ish word frequencies with realistic
+/// letter statistics.
+fn trigram_word(r: &Random, i: u64) -> String {
+    // Length geometric-ish in [2, 12].
+    let len = 2 + (r.ith_rand(i * 31) % 6 + r.ith_rand(i * 31 + 1) % 6) as usize / 2 + 1;
+    let mut s = String::with_capacity(len);
+    // Biased letter chain: next letter depends on previous via hashing,
+    // restricted to a skewed alphabet distribution.
+    const ALPHA: &[u8] = b"etaoinshrdlcumwfgypbvk";
+    let mut state = r.ith_rand(i);
+    for k in 0..len {
+        let idx = (state % ALPHA.len() as u64) as usize;
+        // Quadratic skew towards frequent letters.
+        let idx = (idx * idx) / ALPHA.len();
+        s.push(ALPHA[idx] as char);
+        state = parlay_rs::random::hash64(state ^ (k as u64));
+    }
+    s
+}
+
+/// `trigramSeq_<n>`: a sequence of n words with skewed frequencies.
+pub fn trigram_words(n: usize, seed: u64) -> Vec<String> {
+    let r = Random::new(seed ^ 0x7E47);
+    // Draw from a pool of ~sqrt(n·64) distinct words with Zipf-ish reuse.
+    let pool = ((n as f64 * 64.0).sqrt() as u64).max(64);
+    tabulate(n, |i| {
+        let z = r.ith_f64(i as u64);
+        // Zipf-like index: many hits on low indices.
+        let widx = ((z * z * z) * pool as f64) as u64;
+        trigram_word(&r.fork(1), widx)
+    })
+}
+
+/// `trigramString_<n>`: one long string of trigram characters (for
+/// suffix-array style benchmarks).
+pub fn trigram_string(n: usize, seed: u64) -> Vec<u8> {
+    let r = Random::new(seed ^ 0x7E58);
+    const ALPHA: &[u8] = b"etaoinshrdlcumwfgypbvk ";
+    tabulate(n, |i| {
+        let h = r.ith_rand(i as u64 / 3) ^ (i as u64 % 3).wrapping_mul(0x9E37);
+        let idx = (parlay_rs::random::hash64(h) % ALPHA.len() as u64) as usize;
+        let idx = (idx * idx) / ALPHA.len();
+        ALPHA[idx]
+    })
+}
+
+/// DNA-like four-letter string (a classic suffix-array stress input).
+pub fn dna_string(n: usize, seed: u64) -> Vec<u8> {
+    let r = Random::new(seed ^ 0xD7A);
+    const BASES: &[u8] = b"acgt";
+    tabulate(n, |i| BASES[(r.ith_rand(i as u64) % 4) as usize])
+}
+
+/// A synthetic document collection: `num_docs` documents of roughly
+/// `words_per_doc` trigram words each. Substitutes PBBS's `wikipedia250M`
+/// for `invertedIndex` (same shape: many documents, Zipf vocabulary).
+pub fn documents(num_docs: usize, words_per_doc: usize, seed: u64) -> Vec<Vec<String>> {
+    let r = Random::new(seed ^ 0xD0C5);
+    tabulate(num_docs, |d| {
+        let len = words_per_doc / 2 + (r.ith_rand(d as u64) % words_per_doc.max(1) as u64) as usize;
+        let docs_r = r.fork(d as u64);
+        let pool = ((num_docs * words_per_doc) as f64).sqrt().max(64.0) as u64;
+        (0..len.max(1))
+            .map(|w| {
+                let z = docs_r.ith_f64(w as u64);
+                let widx = ((z * z * z) * pool as f64) as u64;
+                trigram_word(&Random::new(seed ^ 0x11), widx)
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn words_are_nonempty_and_skewed() {
+        let ws = trigram_words(20_000, 1);
+        assert!(ws.iter().all(|w| !w.is_empty()));
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for w in &ws {
+            *freq.entry(w).or_default() += 1;
+        }
+        let max = freq.values().max().copied().unwrap();
+        assert!(
+            freq.len() > 50,
+            "vocabulary too small: {} words",
+            freq.len()
+        );
+        assert!(
+            max > ws.len() / 200,
+            "distribution should be skewed: top word {max}"
+        );
+    }
+
+    #[test]
+    fn strings_use_expected_alphabets() {
+        let t = trigram_string(10_000, 2);
+        assert!(t.iter().all(|c| c.is_ascii_lowercase() || *c == b' '));
+        let d = dna_string(10_000, 2);
+        assert!(d.iter().all(|c| b"acgt".contains(c)));
+    }
+
+    #[test]
+    fn documents_shape() {
+        let docs = documents(100, 50, 3);
+        assert_eq!(docs.len(), 100);
+        assert!(docs.iter().all(|d| !d.is_empty()));
+        let total: usize = docs.iter().map(Vec::len).sum();
+        assert!(total > 100 * 20, "documents should have real content");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(trigram_words(500, 7), trigram_words(500, 7));
+        assert_eq!(dna_string(500, 7), dna_string(500, 7));
+        assert_ne!(dna_string(500, 7), dna_string(500, 8));
+    }
+}

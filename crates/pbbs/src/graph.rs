@@ -1,0 +1,149 @@
+//! Compressed-sparse-row graphs, the substrate of the PBBS graph
+//! benchmarks (BFS, MIS, maximal matching, spanning forest).
+
+use parlay_rs::primitives::{scan_exclusive, tabulate};
+use parlay_rs::sort::integer_sort_by_key;
+
+/// An undirected graph in CSR form. Vertex ids are `u32`; every undirected
+/// edge `{u, v}` appears as both `(u, v)` and `(v, u)` in the adjacency
+/// structure, plus once (canonical `u < v`) in [`Graph::edge_list`].
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    adj: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Build from an undirected edge list (self-loops and duplicates are
+    /// removed; endpoints canonicalized to `u < v`). Runs in parallel.
+    pub fn from_edges(n: usize, raw: &[(u32, u32)]) -> Graph {
+        assert!(n < u32::MAX as usize);
+        // Canonicalize and drop self-loops.
+        let canon: Vec<(u32, u32)> = parlay_rs::filter(
+            &parlay_rs::map(raw, |&(u, v)| if u <= v { (u, v) } else { (v, u) }),
+            |&(u, v)| u != v && (u as usize) < n && (v as usize) < n,
+        );
+        // Dedup by sorting on the packed key.
+        let mut packed: Vec<u64> =
+            parlay_rs::map(&canon, |&(u, v)| ((u as u64) << 32) | v as u64);
+        parlay_rs::integer_sort(&mut packed);
+        let keep: Vec<bool> = tabulate(packed.len(), |i| i == 0 || packed[i] != packed[i - 1]);
+        let idx = parlay_rs::pack_index(&keep);
+        let edges: Vec<(u32, u32)> = parlay_rs::map(&idx, |&i| {
+            let p = packed[i];
+            ((p >> 32) as u32, p as u32)
+        });
+        // Directed half-edges in both directions, sorted by (source, dest)
+        // so each adjacency list comes out ascending.
+        let mut half: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
+        half.extend(edges.iter().copied());
+        half.extend(edges.iter().map(|&(u, v)| (v, u)));
+        integer_sort_by_key(&mut half, |&(u, v)| ((u as u64) << 32) | v as u64);
+        // Offsets via degree counting.
+        let degrees = {
+            let counts: Vec<usize> = {
+                let mut c = vec![0usize; n];
+                // Sequential degree count is fine (one pass over edges);
+                // the sort above did the parallel heavy lifting.
+                for &(u, _) in &half {
+                    c[u as usize] += 1;
+                }
+                c
+            };
+            counts
+        };
+        let (offsets_body, total) = scan_exclusive(&degrees, 0usize, |a, b| a + b);
+        debug_assert_eq!(total, half.len());
+        let mut offsets = offsets_body;
+        offsets.push(total);
+        let adj: Vec<u32> = parlay_rs::map(&half, |&(_, v)| v);
+        Graph {
+            offsets,
+            adj,
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbors of `v` (sorted ascending as a byproduct of construction).
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Canonical undirected edge list (`u < v`), sorted.
+    pub fn edge_list(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Parallel map over vertices.
+    pub fn map_vertices<T: Send, F: Fn(u32) -> T + Sync>(&self, f: F) -> Vec<T> {
+        tabulate(self.num_vertices(), |v| f(v as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_isolate() -> Graph {
+        // 0-1, 1-2, 0-2 and vertex 3 isolated; includes dup + self-loop noise.
+        Graph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (0, 2), (2, 2), (0, 1)])
+    }
+
+    #[test]
+    fn builds_csr_with_dedup_and_loop_removal() {
+        let g = triangle_plus_isolate();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn edge_list_is_canonical_sorted() {
+        let g = triangle_plus_isolate();
+        assert_eq!(g.edge_list(), &[(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn out_of_range_endpoints_dropped() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 5)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(3, &[]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn handedness_is_symmetric() {
+        let g = Graph::from_edges(5, &[(4, 0), (3, 1)]);
+        assert_eq!(g.neighbors(0), &[4]);
+        assert_eq!(g.neighbors(4), &[0]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(3), &[1]);
+    }
+}

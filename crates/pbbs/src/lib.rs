@@ -1,0 +1,76 @@
+//! # pbbs-rs — the Problem-Based Benchmark Suite, in Rust
+//!
+//! Rust ports of the PBBS v2 benchmarks the paper evaluates on, together
+//! with the suite's input generators. Each benchmark exposes:
+//!
+//! * a **parallel** implementation built exclusively on `parlay-rs` /
+//!   `lcws-core` primitives (so the ambient scheduler variant does all the
+//!   load balancing, exactly as in the paper where PBBS runs *unmodified*
+//!   on each scheduler), and
+//! * a **sequential reference** plus a checker used by the test suite and
+//!   by the harness's verify mode.
+//!
+//! The [`registry`] module enumerates every (benchmark, input instance)
+//! pair — the paper's *benchmark configurations* — for the experiment
+//! harness to sweep.
+//!
+//! Input sizes: PBBS defaults are 10⁸-element inputs sized for multi-socket
+//! servers; here each instance declares a base size that [`scaled`] scales
+//! by the `LCWS_SCALE` environment variable (default keeps laptop-friendly
+//! sizes, as recorded in DESIGN.md).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bench;
+pub mod gen;
+pub mod graph;
+pub mod registry;
+
+pub use graph::Graph;
+pub use registry::{all_benchmarks, Benchmark, Instance, Prepared, RunOutcome};
+
+/// Scale a base input size by the `LCWS_SCALE` environment variable
+/// (a positive float; default 1.0), with a floor of 1 000 elements.
+pub fn scaled(base: usize) -> usize {
+    let factor = std::env::var("LCWS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|f| *f > 0.0)
+        .unwrap_or(1.0);
+    ((base as f64 * factor) as usize).max(1_000)
+}
+
+/// FNV-1a over little-endian words — cheap deterministic checksum used to
+/// compare outputs across scheduler variants.
+pub fn checksum_u64s(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_order_sensitive_and_deterministic() {
+        let a = checksum_u64s([1, 2, 3]);
+        let b = checksum_u64s([1, 2, 3]);
+        let c = checksum_u64s([3, 2, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scaled_floors_at_1000() {
+        // Without the env var the default scale is 1.0.
+        assert_eq!(scaled(500), 1_000);
+        assert_eq!(scaled(2_000_000), 2_000_000);
+    }
+}

@@ -1,0 +1,799 @@
+//! The benchmark registry: every (benchmark, input instance) pair — the
+//! paper's *benchmark configurations* — behind a uniform interface the
+//! experiment harness sweeps.
+//!
+//! A [`Prepared`] instance owns its (already generated) input. Calling
+//! [`Prepared::run_parallel`] *inside* a `ThreadPool::run` executes the
+//! parallel algorithm, timing only the algorithm itself (input cloning is
+//! excluded, as in PBBS's timing harness) and returning a checksum used to
+//! confirm that every scheduler variant computes the same answer.
+
+use std::time::{Duration, Instant};
+
+use crate::bench::{classify, geometry, graphs, nbody, seq_ops, sorting, strings, text_ops};
+use crate::gen::{geom, graphs as graph_gen, seqs, text};
+use crate::{checksum_u64s, scaled, Graph};
+
+/// Result of one timed parallel execution.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Wall-clock time of the algorithm proper.
+    pub elapsed: Duration,
+    /// Deterministic digest of the output (identical across variants for
+    /// deterministic benchmarks).
+    pub checksum: u64,
+}
+
+/// A generated input plus the benchmark algorithms to run on it.
+pub trait Prepared: Send + Sync {
+    /// Execute the parallel algorithm once (call inside `ThreadPool::run`).
+    fn run_parallel(&self) -> RunOutcome;
+
+    /// Validate the parallel result against the sequential reference.
+    fn verify(&self) -> Result<(), String>;
+}
+
+/// A named input instance of a benchmark.
+pub struct Instance {
+    /// Benchmark name (e.g. `integerSort`).
+    pub benchmark: &'static str,
+    /// Input instance name, PBBS-style (e.g. `randomSeq_int`).
+    pub input: &'static str,
+    prepare: Box<dyn Fn() -> Box<dyn Prepared> + Send + Sync>,
+}
+
+impl Instance {
+    fn new<P, F>(benchmark: &'static str, input: &'static str, f: F) -> Instance
+    where
+        P: Prepared + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        Instance {
+            benchmark,
+            input,
+            prepare: Box::new(move || Box::new(f())),
+        }
+    }
+
+    /// Generate the input (outside any pool; generation is untimed).
+    pub fn prepare(&self) -> Box<dyn Prepared> {
+        (self.prepare)()
+    }
+
+    /// `benchmark/input` label used in reports.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.benchmark, self.input)
+    }
+}
+
+/// A benchmark with its input instances.
+pub struct Benchmark {
+    /// PBBS benchmark name.
+    pub name: &'static str,
+    /// The suite's input instances for it.
+    pub instances: Vec<Instance>,
+}
+
+// ---------------------------------------------------------------------------
+// Prepared implementations
+// ---------------------------------------------------------------------------
+
+struct IntSort(Vec<u64>);
+impl Prepared for IntSort {
+    fn run_parallel(&self) -> RunOutcome {
+        let mut v = self.0.clone();
+        let t = Instant::now();
+        sorting::integer_sort_bench(&mut v);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(v),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        let mut v = self.0.clone();
+        sorting::integer_sort_bench(&mut v);
+        let mut e = self.0.clone();
+        e.sort_unstable();
+        if v == e {
+            Ok(())
+        } else {
+            Err("integer sort output differs from std sort".into())
+        }
+    }
+}
+
+struct IntSortPairs(Vec<(u64, u64)>);
+impl Prepared for IntSortPairs {
+    fn run_parallel(&self) -> RunOutcome {
+        let mut v = self.0.clone();
+        let t = Instant::now();
+        sorting::integer_sort_pairs_bench(&mut v);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(v.iter().flat_map(|&(k, x)| [k, x])),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        let mut v = self.0.clone();
+        sorting::integer_sort_pairs_bench(&mut v);
+        let mut e = self.0.clone();
+        e.sort_by_key(|p| p.0);
+        if v == e {
+            Ok(())
+        } else {
+            Err("pair sort differs from stable std sort".into())
+        }
+    }
+}
+
+struct CmpSortF64(Vec<f64>);
+impl Prepared for CmpSortF64 {
+    fn run_parallel(&self) -> RunOutcome {
+        let mut v = self.0.clone();
+        let t = Instant::now();
+        sorting::comparison_sort_bench(&mut v);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(v.iter().map(|x| x.to_bits())),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        let mut v = self.0.clone();
+        sorting::comparison_sort_bench(&mut v);
+        if sorting::is_sorted_by(&v, |a, b| a.total_cmp(b)) {
+            Ok(())
+        } else {
+            Err("comparison sort output not sorted".into())
+        }
+    }
+}
+
+struct CmpSortStrings(Vec<String>);
+impl Prepared for CmpSortStrings {
+    fn run_parallel(&self) -> RunOutcome {
+        let mut v = self.0.clone();
+        let t = Instant::now();
+        sorting::comparison_sort_strings_bench(&mut v);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(v.iter().map(|s| parlay_rs::random::hash64(s.len() as u64 ^ s.bytes().fold(0u64, |a, b| a.rotate_left(7) ^ b as u64)))),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        let mut v = self.0.clone();
+        sorting::comparison_sort_strings_bench(&mut v);
+        let mut e = self.0.clone();
+        e.sort();
+        if v == e {
+            Ok(())
+        } else {
+            Err("string sort differs from std sort".into())
+        }
+    }
+}
+
+struct Histogram {
+    keys: Vec<u64>,
+    buckets: usize,
+}
+impl Prepared for Histogram {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let h = seq_ops::histogram(&self.keys, self.buckets);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(h),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        if seq_ops::histogram(&self.keys, self.buckets)
+            == seq_ops::histogram_seq(&self.keys, self.buckets)
+        {
+            Ok(())
+        } else {
+            Err("histogram differs from sequential".into())
+        }
+    }
+}
+
+struct RemoveDuplicates(Vec<u64>);
+impl Prepared for RemoveDuplicates {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let d = seq_ops::remove_duplicates(&self.0);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(d),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        if seq_ops::remove_duplicates(&self.0) == seq_ops::remove_duplicates_seq(&self.0) {
+            Ok(())
+        } else {
+            Err("removeDuplicates differs from sequential".into())
+        }
+    }
+}
+
+struct WordCounts(Vec<String>);
+impl Prepared for WordCounts {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let wc = text_ops::word_counts(&self.0);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(wc.iter().map(|(w, c)| c ^ w.len() as u64)),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        if text_ops::word_counts(&self.0) == text_ops::word_counts_seq(&self.0) {
+            Ok(())
+        } else {
+            Err("wordCounts differs from sequential".into())
+        }
+    }
+}
+
+struct InvertedIndex(Vec<Vec<String>>);
+impl Prepared for InvertedIndex {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let idx = text_ops::inverted_index(&self.0);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(
+                idx.iter()
+                    .map(|(w, ds)| w.len() as u64 ^ checksum_u64s(ds.iter().map(|&d| d as u64))),
+            ),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        if text_ops::inverted_index(&self.0) == text_ops::inverted_index_seq(&self.0) {
+            Ok(())
+        } else {
+            Err("invertedIndex differs from sequential".into())
+        }
+    }
+}
+
+struct SuffixArray(Vec<u8>);
+impl Prepared for SuffixArray {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let sa = strings::suffix_array(&self.0);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(sa.iter().map(|&x| x as u64)),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        if strings::suffix_array(&self.0) == strings::suffix_array_seq(&self.0) {
+            Ok(())
+        } else {
+            Err("suffix array differs from reference".into())
+        }
+    }
+}
+
+struct Lrs(Vec<u8>);
+impl Prepared for Lrs {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let (len, start) = strings::longest_repeated_substring(&self.0);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: ((len as u64) << 32) | start as u64,
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        let (len, start) = strings::longest_repeated_substring(&self.0);
+        let needle = &self.0[start as usize..(start + len) as usize];
+        if len == 0
+            || self
+                .0
+                .windows(needle.len().max(1))
+                .filter(|w| *w == needle)
+                .count()
+                >= 2
+        {
+            Ok(())
+        } else {
+            Err("reported LRS does not repeat".into())
+        }
+    }
+}
+
+struct Bfs {
+    graph: Graph,
+    src: u32,
+}
+impl Prepared for Bfs {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let d = graphs::bfs(&self.graph, self.src);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(d.iter().map(|&x| x as u64)),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        if graphs::bfs(&self.graph, self.src) == graphs::bfs_seq(&self.graph, self.src) {
+            Ok(())
+        } else {
+            Err("BFS distances differ from sequential".into())
+        }
+    }
+}
+
+struct Mis(Graph);
+impl Prepared for Mis {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let mis = graphs::maximal_independent_set(&self.0, 42);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(mis.iter().map(|&b| b as u64)),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        graphs::check_mis(&self.0, &graphs::maximal_independent_set(&self.0, 42))
+    }
+}
+
+struct Matching(Graph);
+impl Prepared for Matching {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let (m, k) = graphs::maximal_matching(&self.0, 42);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(m.iter().map(|&b| b as u64).chain([k as u64])),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        let (m, k) = graphs::maximal_matching(&self.0, 42);
+        graphs::check_matching(&self.0, &m, k)
+    }
+}
+
+struct Msf {
+    graph: Graph,
+    weights: Vec<u64>,
+}
+impl Prepared for Msf {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let f = graphs::min_spanning_forest(&self.graph, &self.weights);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(f.iter().map(|&e| e as u64)),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        let f = graphs::min_spanning_forest(&self.graph, &self.weights);
+        graphs::check_spanning_forest(&self.graph, &f)?;
+        let total: u128 = f.iter().map(|&e| self.weights[e] as u128).sum();
+        let expected = graphs::msf_weight_seq(&self.graph, &self.weights);
+        if total == expected {
+            Ok(())
+        } else {
+            Err(format!("MSF weight {total} != sequential Kruskal {expected}"))
+        }
+    }
+}
+
+struct Forest(Graph);
+impl Prepared for Forest {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let f = graphs::spanning_forest(&self.0);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            // Forest edge choice is deterministic (reservations), so the
+            // index list itself is digestible.
+            checksum: checksum_u64s(f.iter().map(|&e| e as u64)),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        graphs::check_spanning_forest(&self.0, &graphs::spanning_forest(&self.0))
+    }
+}
+
+struct Hull(Vec<geom::Point2>);
+impl Prepared for Hull {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let h = geometry::convex_hull(&self.0);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(h.iter().map(|&x| x as u64)),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        geometry::check_hull(&self.0, &geometry::convex_hull(&self.0))
+    }
+}
+
+struct Knn(Vec<geom::Point2>);
+impl Prepared for Knn {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let nn = geometry::all_nearest_neighbors(&self.0);
+        let elapsed = t.elapsed();
+        // Digest the neighbor *distances* (bit-exact) rather than indices:
+        // ties may resolve differently without being wrong.
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(
+                nn.iter()
+                    .enumerate()
+                    .map(|(q, &i)| self.0[i as usize].dist2(&self.0[q]).to_bits()),
+            ),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        // Spot-check against brute force on a sample (full brute force is
+        // quadratic).
+        let nn = geometry::all_nearest_neighbors(&self.0);
+        let n = self.0.len();
+        let step = (n / 200).max(1);
+        for q in (0..n).step_by(step) {
+            let mut best = f64::INFINITY;
+            for (i, p) in self.0.iter().enumerate() {
+                if i != q {
+                    best = best.min(p.dist2(&self.0[q]));
+                }
+            }
+            let got = self.0[nn[q] as usize].dist2(&self.0[q]);
+            if (got - best).abs() > 1e-12 {
+                return Err(format!("query {q}: kd-tree {got} vs brute {best}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Nbody(Vec<geom::Point3>);
+impl Prepared for Nbody {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let f = nbody::nbody_forces(&self.0);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(f.iter().map(|p| p.x.to_bits() ^ p.y.to_bits().rotate_left(21) ^ p.z.to_bits().rotate_left(42))),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        let pts = &self.0[..self.0.len().min(500)];
+        let approx = nbody::nbody_forces(pts);
+        let exact = nbody::nbody_forces_exact(pts);
+        let mut err = 0.0;
+        for (a, e) in approx.iter().zip(&exact) {
+            let d2 = (a.x - e.x).powi(2) + (a.y - e.y).powi(2) + (a.z - e.z).powi(2);
+            let m2 = (e.x * e.x + e.y * e.y + e.z * e.z).max(1e-18);
+            err += (d2 / m2).sqrt();
+        }
+        let avg = err / pts.len().max(1) as f64;
+        if avg < 0.1 {
+            Ok(())
+        } else {
+            Err(format!("Barnes–Hut error too large: {avg:.4}"))
+        }
+    }
+}
+
+struct Classify(classify::Dataset);
+impl Prepared for Classify {
+    fn run_parallel(&self) -> RunOutcome {
+        let t = Instant::now();
+        let tree = classify::train(&self.0);
+        let elapsed = t.elapsed();
+        RunOutcome {
+            elapsed,
+            checksum: checksum_u64s(
+                (0..self.0.len()).map(|i| tree.predict(&self.0, i) as u64),
+            ),
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        let par = classify::train(&self.0);
+        let seq = classify::train_seq(&self.0);
+        if par != seq {
+            return Err("parallel and sequential trees differ".into());
+        }
+        let acc = classify::accuracy(&par, &self.0);
+        if acc > 0.5 {
+            Ok(())
+        } else {
+            Err(format!("training accuracy too low: {acc}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Every benchmark with all of its input instances — the full configuration
+/// matrix of the evaluation (§5: "all input instances of all benchmarks").
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let n_sort = || scaled(600_000);
+    let n_seq = || scaled(1_000_000);
+    let n_text = || scaled(120_000);
+    let n_sa = || scaled(120_000);
+    let n_geo = || scaled(300_000);
+    let graph_n = || scaled(60_000);
+
+    vec![
+        Benchmark {
+            name: "integerSort",
+            instances: vec![
+                Instance::new("integerSort", "randomSeq_int", move || {
+                    IntSort(seqs::random_seq(n_sort(), u64::MAX, 1))
+                }),
+                Instance::new("integerSort", "exptSeq_int", move || {
+                    IntSort(seqs::expt_seq(n_sort(), 1 << 30, 2))
+                }),
+                Instance::new("integerSort", "randomSeq_int_pair_int", move || {
+                    IntSortPairs(seqs::random_pair_seq(n_sort(), 1 << 30, 3))
+                }),
+                Instance::new("integerSort", "randomSeq_256_int_pair_int", move || {
+                    IntSortPairs(seqs::random_pair_seq(n_sort(), 256, 4))
+                }),
+            ],
+        },
+        Benchmark {
+            name: "comparisonSort",
+            instances: vec![
+                Instance::new("comparisonSort", "randomSeq_double", move || {
+                    CmpSortF64(seqs::random_f64_seq(n_sort(), 5))
+                }),
+                Instance::new("comparisonSort", "exptSeq_double", move || {
+                    CmpSortF64(seqs::expt_f64_seq(n_sort(), 6))
+                }),
+                Instance::new("comparisonSort", "almostSortedSeq_double", move || {
+                    CmpSortF64(seqs::almost_sorted_f64_seq(n_sort(), 7))
+                }),
+                Instance::new("comparisonSort", "trigramSeq_string", move || {
+                    CmpSortStrings(text::trigram_words(n_text(), 8))
+                }),
+            ],
+        },
+        Benchmark {
+            name: "histogram",
+            instances: vec![
+                Instance::new("histogram", "randomSeq_100K_int", move || Histogram {
+                    keys: seqs::random_seq(n_seq(), 100_000, 9),
+                    buckets: 100_000,
+                }),
+                Instance::new("histogram", "randomSeq_256_int", move || Histogram {
+                    keys: seqs::random_seq(n_seq(), 256, 10),
+                    buckets: 256,
+                }),
+                Instance::new("histogram", "exptSeq_int", move || Histogram {
+                    keys: seqs::expt_seq(n_seq(), 100_000, 11),
+                    buckets: 100_000,
+                }),
+            ],
+        },
+        Benchmark {
+            name: "removeDuplicates",
+            instances: vec![
+                Instance::new("removeDuplicates", "randomSeq_int", move || {
+                    RemoveDuplicates(seqs::random_seq(n_seq(), u64::MAX >> 1, 12))
+                }),
+                Instance::new("removeDuplicates", "randomSeq_100K_int", move || {
+                    RemoveDuplicates(seqs::random_seq(n_seq(), 100_000, 13))
+                }),
+            ],
+        },
+        Benchmark {
+            name: "wordCounts",
+            instances: vec![Instance::new("wordCounts", "trigramSeq", move || {
+                WordCounts(text::trigram_words(n_text(), 14))
+            })],
+        },
+        Benchmark {
+            name: "invertedIndex",
+            instances: vec![Instance::new("invertedIndex", "synthDocs", move || {
+                InvertedIndex(text::documents(scaled(2_000).min(20_000), 60, 15))
+            })],
+        },
+        Benchmark {
+            name: "suffixArray",
+            instances: vec![
+                Instance::new("suffixArray", "trigramString", move || {
+                    SuffixArray(text::trigram_string(n_sa(), 16))
+                }),
+                Instance::new("suffixArray", "dna", move || {
+                    SuffixArray(text::dna_string(n_sa(), 17))
+                }),
+            ],
+        },
+        Benchmark {
+            name: "longestRepeatedSubstring",
+            instances: vec![Instance::new(
+                "longestRepeatedSubstring",
+                "trigramString",
+                move || Lrs(text::trigram_string(scaled(60_000), 18)),
+            )],
+        },
+        Benchmark {
+            name: "breadthFirstSearch",
+            instances: vec![
+                Instance::new("breadthFirstSearch", "rMatGraph", move || Bfs {
+                    graph: graph_gen::rmat_graph(graph_n(), graph_n() * 5, 19),
+                    src: 0,
+                }),
+                Instance::new("breadthFirstSearch", "randLocalGraph", move || Bfs {
+                    graph: graph_gen::rand_local_graph(graph_n(), 5, 20),
+                    src: 0,
+                }),
+                Instance::new("breadthFirstSearch", "3Dgrid", move || {
+                    let side = ((graph_n() as f64).cbrt() as usize).max(4);
+                    Bfs {
+                        graph: graph_gen::grid_graph_3d(side),
+                        src: 0,
+                    }
+                }),
+            ],
+        },
+        Benchmark {
+            name: "maximalIndependentSet",
+            instances: vec![
+                Instance::new("maximalIndependentSet", "rMatGraph", move || {
+                    Mis(graph_gen::rmat_graph(graph_n(), graph_n() * 5, 21))
+                }),
+                Instance::new("maximalIndependentSet", "randLocalGraph", move || {
+                    Mis(graph_gen::rand_local_graph(graph_n(), 5, 22))
+                }),
+            ],
+        },
+        Benchmark {
+            name: "maximalMatching",
+            instances: vec![
+                Instance::new("maximalMatching", "rMatGraph", move || {
+                    Matching(graph_gen::rmat_graph(graph_n(), graph_n() * 5, 23))
+                }),
+                Instance::new("maximalMatching", "randLocalGraph", move || {
+                    Matching(graph_gen::rand_local_graph(graph_n(), 5, 24))
+                }),
+                Instance::new("maximalMatching", "2Dgrid", move || {
+                    let side = ((graph_n() as f64).sqrt() as usize).max(4);
+                    Matching(graph_gen::grid_graph_2d(side))
+                }),
+            ],
+        },
+        Benchmark {
+            name: "spanningForest",
+            instances: vec![
+                Instance::new("spanningForest", "rMatGraph", move || {
+                    Forest(graph_gen::rmat_graph(graph_n(), graph_n() * 5, 25))
+                }),
+                Instance::new("spanningForest", "randLocalGraph", move || {
+                    Forest(graph_gen::rand_local_graph(graph_n(), 5, 26))
+                }),
+            ],
+        },
+        Benchmark {
+            // Exact-Kruskal-order MSF serializes on each growing
+            // component's root (the reservation is the correctness
+            // mechanism), so like PBBS's minSpanningForest it is by far
+            // the slowest benchmark per element; its instances are sized
+            // down accordingly.
+            name: "minSpanningForest",
+            instances: vec![
+                Instance::new("minSpanningForest", "rMatGraph_W", move || {
+                    let n = scaled(12_000);
+                    let g = graph_gen::rmat_graph(n, n * 5, 35);
+                    let weights = graphs::edge_weights(&g, 36);
+                    Msf { graph: g, weights }
+                }),
+                Instance::new("minSpanningForest", "randLocalGraph_W", move || {
+                    let g = graph_gen::rand_local_graph(scaled(12_000), 5, 37);
+                    let weights = graphs::edge_weights(&g, 38);
+                    Msf { graph: g, weights }
+                }),
+            ],
+        },
+        Benchmark {
+            name: "convexHull",
+            instances: vec![
+                Instance::new("convexHull", "2DinSphere", move || {
+                    Hull(geom::points_in_sphere_2d(n_geo(), 27))
+                }),
+                Instance::new("convexHull", "2DinCube", move || {
+                    Hull(geom::points_in_cube_2d(n_geo(), 28))
+                }),
+                Instance::new("convexHull", "2Dkuzmin", move || {
+                    Hull(geom::points_kuzmin_2d(n_geo(), 29))
+                }),
+            ],
+        },
+        Benchmark {
+            name: "nearestNeighbors",
+            instances: vec![
+                Instance::new("nearestNeighbors", "2DinCube", move || {
+                    Knn(geom::points_in_cube_2d(scaled(100_000), 30))
+                }),
+                Instance::new("nearestNeighbors", "2Dkuzmin", move || {
+                    Knn(geom::points_kuzmin_2d(scaled(100_000), 31))
+                }),
+            ],
+        },
+        Benchmark {
+            name: "classify",
+            instances: vec![Instance::new("classify", "synthCovtype", move || {
+                Classify(classify::synthetic_dataset(scaled(40_000), 8, 8, 34))
+            })],
+        },
+        Benchmark {
+            name: "nbody",
+            instances: vec![
+                Instance::new("nbody", "3DinCube", move || {
+                    Nbody(geom::points_in_cube_3d(scaled(15_000), 32))
+                }),
+                Instance::new("nbody", "3Dplummer", move || {
+                    Nbody(geom::points_plummer_3d(scaled(15_000), 33))
+                }),
+            ],
+        },
+    ]
+}
+
+/// Flattened list of every instance (the configuration axis of §5).
+pub fn all_instances() -> Vec<Instance> {
+    all_benchmarks()
+        .into_iter()
+        .flat_map(|b| b.instances)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_shape() {
+        let benches = all_benchmarks();
+        assert!(benches.len() >= 15, "suite breadth: {}", benches.len());
+        let total: usize = benches.iter().map(|b| b.instances.len()).sum();
+        assert!(total >= 30, "configuration count: {total}");
+        for b in &benches {
+            assert!(!b.instances.is_empty(), "{} has no instances", b.name);
+            for i in &b.instances {
+                assert_eq!(i.benchmark, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let inst = all_instances();
+        let mut labels: Vec<String> = inst.iter().map(|i| i.label()).collect();
+        labels.sort();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(before, labels.len());
+    }
+
+    // Full verify of every instance is exercised (with a small scale) by
+    // the crate integration test `suite_verify.rs`.
+}

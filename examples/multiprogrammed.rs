@@ -1,0 +1,57 @@
+//! The paper's motivating scenario (§1.1, "Multiprogrammed Environments"):
+//! a resource manager has granted our runtime only a *fraction* of the
+//! machine's cores. Classic WS keeps paying a memory fence on every local
+//! deque pop even though almost nothing is stolen at low worker counts —
+//! LCWS makes exactly those fences disappear.
+//!
+//! This example runs the same computation under every scheduler at
+//! decreasing worker counts and prints time + synchronization profile,
+//! mirroring Figure 5's axis (fraction of cores used).
+//!
+//! Run with: `cargo run --release --example multiprogrammed`
+
+use std::time::Instant;
+
+use lcws::{par_for_grain, PoolBuilder, Variant};
+
+fn workload() {
+    // A data-parallel kernel with fine-grained tasks: maximal pressure on
+    // the deque's local-operation path.
+    par_for_grain(0..400_000, 128, |i| {
+        std::hint::black_box((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    });
+}
+
+fn main() {
+    println!(
+        "{:<10} {:>3} {:>10} {:>12} {:>10} {:>9} {:>9}",
+        "scheduler", "P", "time(ms)", "fences", "cas", "steals", "signals"
+    );
+    for &threads in &[4usize, 2, 1] {
+        for variant in Variant::ALL {
+            let pool = PoolBuilder::new(variant).threads(threads).build();
+            // Warmup, then measure.
+            pool.run(workload);
+            let t = Instant::now();
+            let (_, profile) = pool.run_measured(workload);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "{:<10} {:>3} {:>10.2} {:>12} {:>10} {:>9} {:>9}",
+                variant.name(),
+                threads,
+                ms,
+                profile.fences(),
+                profile.cas(),
+                profile.steals_ok(),
+                profile.signals_sent(),
+            );
+        }
+        println!();
+    }
+    println!(
+        "Note the fences column: the LCWS variants eliminate the per-pop\n\
+         seq-cst fence WS pays, which is the whole effect the paper measures\n\
+         — most visible at P=1/P=2 where stealing is rare but classic WS\n\
+         still synchronizes every local operation."
+    );
+}

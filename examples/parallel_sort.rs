@@ -1,0 +1,68 @@
+//! Sorting showcase: parallel comparison sort and radix integer sort on
+//! the PBBS input families, with a scheduler comparison.
+//!
+//! Run with: `cargo run --release --example parallel_sort`
+
+use std::time::Instant;
+
+use lcws::parlay;
+use lcws::pbbs::gen::seqs;
+use lcws::{PoolBuilder, ThreadPool, Variant};
+
+fn time_sort<T, F: FnOnce() -> T>(label: &str, f: F) -> T {
+    let t = Instant::now();
+    let out = f();
+    println!("  {label:<34} {:>9.2} ms", t.elapsed().as_secs_f64() * 1e3);
+    out
+}
+
+fn main() {
+    let n = 400_000;
+    let pool: ThreadPool = PoolBuilder::new(Variant::Signal).threads(4).build();
+    println!("sorting {n} elements on {} workers (signal-LCWS):", pool.num_workers());
+
+    // Integer sort on the PBBS integer families.
+    for (name, mut data) in [
+        ("integerSort/randomSeq_int", seqs::random_seq(n, u64::MAX, 1)),
+        ("integerSort/exptSeq_int", seqs::expt_seq(n, 1 << 30, 2)),
+        ("integerSort/almostSortedSeq", seqs::almost_sorted_seq(n, 3)),
+    ] {
+        pool.run(|| time_sort(name, || parlay::integer_sort(&mut data)));
+        assert!(data.windows(2).all(|w| w[0] <= w[1]), "{name} not sorted");
+    }
+
+    // Comparison sort on doubles and strings.
+    let mut doubles = seqs::random_f64_seq(n, 4);
+    pool.run(|| {
+        time_sort("comparisonSort/randomSeq_double", || {
+            parlay::sort_by(&mut doubles, |a, b| a.total_cmp(b))
+        })
+    });
+    assert!(doubles.windows(2).all(|w| w[0] <= w[1]));
+
+    let mut words = lcws::pbbs::gen::text::trigram_words(n / 4, 5);
+    pool.run(|| {
+        time_sort("comparisonSort/trigramSeq_string", || {
+            parlay::sort(&mut words)
+        })
+    });
+    assert!(words.windows(2).all(|w| w[0] <= w[1]));
+
+    // Scheduler shoot-out on one input.
+    println!("\nscheduler comparison (integer sort, P=2):");
+    for variant in Variant::ALL {
+        let p = PoolBuilder::new(variant).threads(2).build();
+        let mut data = seqs::random_seq(n, u64::MAX, 6);
+        p.run(|| parlay::integer_sort(&mut data)); // warmup on a copy
+        let mut data = seqs::random_seq(n, u64::MAX, 6);
+        let t = Instant::now();
+        let (_, profile) = p.run_measured(|| parlay::integer_sort(&mut data));
+        println!(
+            "  {:<8} {:>9.2} ms   fences={:<9} cas={:<7}",
+            variant.name(),
+            t.elapsed().as_secs_f64() * 1e3,
+            profile.fences(),
+            profile.cas(),
+        );
+    }
+}

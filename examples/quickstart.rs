@@ -1,0 +1,59 @@
+//! Quickstart: build a synchronization-light pool, run fork-join work,
+//! use the Parlay-style primitives, and inspect the synchronization
+//! profile.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lcws::{join, par_for, parlay, PoolBuilder, Variant};
+
+fn main() {
+    // 1. Pick a scheduler. `Variant::Signal` is the paper's headline
+    //    contribution: split deques + SIGUSR1 work-exposure requests
+    //    handled in constant time.
+    let pool = PoolBuilder::new(Variant::Signal).threads(4).build();
+    println!("pool: {:?} workers under the `signal` scheduler", pool.num_workers());
+
+    // 2. Fork-join parallelism: same API shape as rayon::join.
+    let (sum_a, sum_b) = pool.run(|| {
+        join(
+            || (0..1_000_000u64).sum::<u64>(),
+            || (1_000_000..2_000_000u64).sum::<u64>(),
+        )
+    });
+    println!("parallel sums: {sum_a} + {sum_b} = {}", sum_a + sum_b);
+
+    // 3. Parallel loops.
+    let squares = pool.run(|| parlay::tabulate(10, |i| i * i));
+    println!("tabulate: {squares:?}");
+    pool.run(|| {
+        par_for(0..8, |i| {
+            // Runs on whichever worker steals (or keeps) each block.
+            std::hint::black_box(i);
+        })
+    });
+
+    // 4. Parallel algorithms from the toolkit.
+    let mut data: Vec<u64> = (0..200_000u64).rev().collect();
+    pool.run(|| parlay::sort(&mut data));
+    assert!(data.windows(2).all(|w| w[0] <= w[1]));
+    println!("sorted {} elements", data.len());
+
+    // 5. Every run exposes its synchronization profile — the quantity the
+    //    paper's evaluation is about. Compare against the classic WS
+    //    scheduler on the same computation:
+    let work = |n: u64| move || {
+        par_for(0..n as usize, |i| {
+            std::hint::black_box(i * i);
+        })
+    };
+    let (_, lcws_profile) = pool.run_measured(work(500_000));
+    let ws_pool = PoolBuilder::new(Variant::Ws).threads(4).build();
+    let (_, ws_profile) = ws_pool.run_measured(work(500_000));
+    println!("\nsynchronization profile (same computation):");
+    println!("  signal-LCWS: fences={:<8} cas={:<8}", lcws_profile.fences(), lcws_profile.cas());
+    println!("  classic WS : fences={:<8} cas={:<8}", ws_profile.fences(), ws_profile.cas());
+    println!(
+        "  LCWS uses {:.2}% of WS's memory fences",
+        100.0 * lcws_profile.fences() as f64 / ws_profile.fences().max(1) as f64
+    );
+}

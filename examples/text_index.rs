@@ -1,0 +1,66 @@
+//! Text processing pipeline: word counting, inverted-index construction,
+//! and longest-repeated-substring over generated trigram text — the PBBS
+//! string workloads on a synchronization-light scheduler.
+//!
+//! Run with: `cargo run --release --example text_index`
+
+use std::time::Instant;
+
+use lcws::pbbs::bench::{strings, text_ops};
+use lcws::pbbs::gen::text;
+use lcws::{PoolBuilder, Variant};
+
+fn main() {
+    let pool = PoolBuilder::new(Variant::SignalHalf).threads(4).build();
+
+    // --- wordCounts -------------------------------------------------------
+    let words = text::trigram_words(150_000, 7);
+    let t = Instant::now();
+    let counts = pool.run(|| text_ops::word_counts(&words));
+    let elapsed = t.elapsed();
+    let mut top: Vec<_> = counts.iter().collect();
+    top.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    println!(
+        "wordCounts: {} words → {} distinct in {:.2} ms",
+        words.len(),
+        counts.len(),
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!("  top words: {:?}", &top[..top.len().min(5)]);
+
+    // --- invertedIndex ----------------------------------------------------
+    let docs = text::documents(1_500, 80, 9);
+    let t = Instant::now();
+    let index = pool.run(|| text_ops::inverted_index(&docs));
+    let elapsed = t.elapsed();
+    let postings: usize = index.iter().map(|(_, d)| d.len()).sum();
+    println!(
+        "invertedIndex: {} documents → {} terms, {} postings in {:.2} ms",
+        docs.len(),
+        index.len(),
+        postings,
+        elapsed.as_secs_f64() * 1e3
+    );
+    // Query the index: documents containing the most common term.
+    if let Some((term, ds)) = index.iter().max_by_key(|(_, d)| d.len()) {
+        println!("  most widespread term {term:?} appears in {} documents", ds.len());
+    }
+
+    // --- suffix array & longest repeated substring ------------------------
+    let textbuf = text::trigram_string(120_000, 11);
+    let t = Instant::now();
+    let sa = pool.run(|| strings::suffix_array(&textbuf));
+    println!(
+        "suffixArray: {} chars in {:.2} ms (sa[0] = {})",
+        textbuf.len(),
+        t.elapsed().as_secs_f64() * 1e3,
+        sa[0]
+    );
+    let t = Instant::now();
+    let (len, start) = pool.run(|| strings::longest_repeated_substring(&textbuf));
+    println!(
+        "longestRepeatedSubstring: {:?} (len {len}) in {:.2} ms",
+        String::from_utf8_lossy(&textbuf[start as usize..(start + len.min(40)) as usize]),
+        t.elapsed().as_secs_f64() * 1e3
+    );
+}

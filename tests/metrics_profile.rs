@@ -1,0 +1,101 @@
+//! Mini-Figure-3 assertions: the synchronization-profile *shapes* the
+//! paper reports must hold on live runs — LCWS variants execute a small
+//! fraction of WS's fences and CAS ops, conservative exposure never
+//! publishes a victim's last task, and WS never exposes or signals at all.
+
+use lcws::{par_for_grain, PoolBuilder, Snapshot, Variant};
+
+fn profile(variant: Variant, threads: usize) -> Snapshot {
+    let pool = PoolBuilder::new(variant).threads(threads).build();
+    let (_, m) = pool.run_measured(|| {
+        par_for_grain(0..150_000, 64, |i| {
+            std::hint::black_box(i);
+        });
+    });
+    m
+}
+
+#[test]
+fn lcws_fence_ratio_is_far_below_ws() {
+    // Figure 3a: USLCWS uses less than 1% of WS's fences (we allow 10%
+    // headroom for the small input and single-core host).
+    let ws = profile(Variant::Ws, 2);
+    assert!(ws.fences() > 1_000, "WS must fence per local op: {ws}");
+    for variant in [Variant::UsLcws, Variant::Signal, Variant::SignalHalf] {
+        let m = profile(variant, 2);
+        let ratio = m.fences() as f64 / ws.fences() as f64;
+        assert!(
+            ratio < 0.10,
+            "{variant}: fence ratio {ratio:.4} not ≪ 1 ({m} vs ws {ws})"
+        );
+    }
+}
+
+#[test]
+fn lcws_cas_ratio_is_below_ws() {
+    // Figure 3b: USLCWS executes well under half of WS's CAS operations.
+    let ws = profile(Variant::Ws, 2);
+    let us = profile(Variant::UsLcws, 2);
+    let ratio = us.cas() as f64 / ws.cas().max(1) as f64;
+    assert!(ratio < 0.60, "CAS ratio {ratio:.3} too high ({us} vs {ws})");
+}
+
+#[test]
+fn ws_never_exposes_or_signals() {
+    let ws = profile(Variant::Ws, 4);
+    assert_eq!(ws.exposures(), 0);
+    assert_eq!(ws.signals_sent(), 0);
+    assert_eq!(ws.get(lcws::Counter::StealPrivate), 0);
+}
+
+#[test]
+fn uslcws_never_signals() {
+    let us = profile(Variant::UsLcws, 4);
+    assert_eq!(us.signals_sent(), 0, "user-space variant must not use signals");
+}
+
+#[test]
+fn exposure_accounting_is_consistent() {
+    // Exposed tasks are either stolen or re-taken by the owner; the two
+    // sinks can never exceed the source.
+    for variant in [Variant::Signal, Variant::SignalHalf, Variant::UsLcws] {
+        let m = profile(variant, 4);
+        assert!(
+            m.steals_ok() + m.owner_public_pops() <= m.exposures() + 1,
+            "{variant}: sinks exceed exposures: {m}"
+        );
+    }
+}
+
+#[test]
+fn single_worker_lcws_runs_nearly_synchronization_free() {
+    // The limiting case of the paper's low-processor-count argument: with
+    // P = 1 nothing is ever stolen, so an LCWS scheduler should execute
+    // (almost) no fences and no CAS at all, while WS still pays per-op.
+    let us = profile(Variant::UsLcws, 1);
+    assert_eq!(us.fences(), 0, "no thieves → no public pops → no fences: {us}");
+    assert_eq!(us.cas(), 0, "{us}");
+    let ws = profile(Variant::Ws, 1);
+    assert!(ws.fences() > 1_000, "WS pays fences even alone: {ws}");
+}
+
+#[test]
+fn signals_flow_only_under_signal_variants_with_thieves() {
+    // With oversubscribed workers on a fine-grained loop, thieves find
+    // private work and must request exposure at least occasionally. On a
+    // heavily loaded single-core host worker 0 can occasionally finish
+    // before any helper is scheduled, so grow the workload and retry.
+    let pool = PoolBuilder::new(Variant::Signal).threads(4).build();
+    for attempt in 0..6 {
+        let n = 200_000usize << attempt;
+        let (_, m) = pool.run_measured(|| {
+            par_for_grain(0..n, 64, |i| {
+                std::hint::black_box(i);
+            });
+        });
+        if m.get(lcws::Counter::StealAttempt) > 0 {
+            return;
+        }
+    }
+    panic!("thieves never attempted a steal across six growing runs");
+}

@@ -1,0 +1,38 @@
+//! Runs every registered PBBS instance's checker (parallel result vs
+//! sequential reference) at a small scale, inside a signal-LCWS pool —
+//! end-to-end validation of the whole suite on the paper's scheduler.
+
+use lcws::pbbs::registry::all_instances;
+use lcws::{PoolBuilder, Variant};
+
+#[test]
+fn every_instance_verifies_under_signal_lcws() {
+    std::env::set_var("LCWS_SCALE", "0.005");
+    let pool = PoolBuilder::new(Variant::Signal).threads(3).build();
+    for inst in all_instances() {
+        let prepared = inst.prepare();
+        let result = pool.run(|| prepared.verify());
+        assert!(
+            result.is_ok(),
+            "{} failed verification: {}",
+            inst.label(),
+            result.unwrap_err()
+        );
+    }
+}
+
+#[test]
+fn every_instance_verifies_under_conservative_exposure() {
+    std::env::set_var("LCWS_SCALE", "0.005");
+    let pool = PoolBuilder::new(Variant::SignalConservative).threads(2).build();
+    for inst in all_instances() {
+        let prepared = inst.prepare();
+        let result = pool.run(|| prepared.verify());
+        assert!(
+            result.is_ok(),
+            "{} failed verification: {}",
+            inst.label(),
+            result.unwrap_err()
+        );
+    }
+}
