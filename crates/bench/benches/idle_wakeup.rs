@@ -1,0 +1,97 @@
+//! Cost model of the adaptive idle subsystem (spin → yield → park).
+//!
+//! Two questions, one per group:
+//!
+//! 1. **Wakeup latency**: once a helper has fully escalated and parked,
+//!    how long does producing one job take to get it running again?
+//!    Measured with a `join` whose left side blocks until the right side
+//!    has run — and the right side can only run on the (parked) helper,
+//!    since the owner is blocked. The preceding idle window sits in
+//!    `iter_batched` setup, outside the measurement. Includes the condvar
+//!    signal, OS wakeup, steal (plus the exposure round trip for signal
+//!    variants), and execution — the user-visible price of parking, to
+//!    weigh against a busy-waiting helper's core.
+//!
+//! 2. **Fork-join overhead guard**: a fine-grained `fib` on an
+//!    [`IdlePolicy::Adaptive`] pool versus an [`IdlePolicy::SpinOnly`]
+//!    pool. Saturated workers must never reach the park stage (progress
+//!    resets the ladder), so these two must track each other; adaptive
+//!    drifting above spin-only means parking is leaking into the hot
+//!    path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lcws_core::{join, IdlePolicy, PoolBuilder, ThreadPool, Variant};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+fn pool(variant: Variant, policy: IdlePolicy) -> ThreadPool {
+    PoolBuilder::new(variant)
+        .threads(2)
+        .idle_policy(policy)
+        .build()
+}
+
+fn bench_wakeup_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("idle_wakeup");
+    g.sample_size(20);
+    for variant in [Variant::Ws, Variant::Signal] {
+        let pool = pool(variant, IdlePolicy::Adaptive);
+        g.bench_function(format!("park_to_run/{}", variant.name()), |b| {
+            pool.run(|| {
+                b.iter_batched(
+                    // Idle long enough for the helper to escalate through
+                    // spin and yield and park (the ladder is microseconds;
+                    // the park backstop is 1ms).
+                    || std::thread::sleep(Duration::from_micros(600)),
+                    |()| {
+                        let ran_on_helper = AtomicBool::new(false);
+                        join(
+                            // The owner blocks (yielding, so a one-core box
+                            // can schedule the woken helper) until the other
+                            // branch ran — which only the helper can do.
+                            || {
+                                while !ran_on_helper.load(Ordering::Acquire) {
+                                    std::thread::yield_now();
+                                }
+                            },
+                            || ran_on_helper.store(true, Ordering::Release),
+                        );
+                    },
+                    BatchSize::PerIteration,
+                );
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fork_join_guard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("idle_fork_join_guard");
+    g.sample_size(10);
+    for (label, policy) in [
+        ("adaptive", IdlePolicy::Adaptive),
+        ("spin_only", IdlePolicy::SpinOnly),
+    ] {
+        let pool = pool(Variant::Signal, policy);
+        g.bench_function(format!("fib16/{label}"), |b| {
+            b.iter(|| pool.run(|| fib(std::hint::black_box(16))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_wakeup_latency, bench_fork_join_guard
+}
+criterion_main!(benches);

@@ -32,7 +32,11 @@ impl Victim {
         let deque = Arc::new(SplitDeque::new(1 << 16));
         let stop = Arc::new(AtomicBool::new(false));
         let pthread_cell = Arc::new(AtomicU64::new(0));
-        let (d, s, pc) = (Arc::clone(&deque), Arc::clone(&stop), Arc::clone(&pthread_cell));
+        let (d, s, pc) = (
+            Arc::clone(&deque),
+            Arc::clone(&stop),
+            Arc::clone(&pthread_cell),
+        );
         let handle = std::thread::spawn(move || {
             pc.store(unsafe { libc::pthread_self() } as u64, Ordering::Release);
             while !s.load(Ordering::Acquire) {

@@ -5,13 +5,9 @@
 use lcws_bench::figures;
 
 fn main() {
-    println!(
-        "{}",
-        lcws_bench::machine::MachineInfo::probe().table()
-    );
-    let cfg = lcws_bench::SweepConfig::from_args_with_default_variants(
-        "ws,uslcws,signal,cons,half",
-    );
+    println!("{}", lcws_bench::machine::MachineInfo::probe().table());
+    let cfg =
+        lcws_bench::SweepConfig::from_args_with_default_variants("ws,uslcws,signal,cons,half");
     let ms = lcws_bench::sweep(&cfg);
     let report = lcws_bench::Report::new("raw measurements");
     let (header, rows) = figures::raw_csv(&ms);

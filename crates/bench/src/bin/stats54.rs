@@ -2,7 +2,8 @@
 //! Default variants: ws,uslcws,signal,cons,half; override with --variants/--threads/--reps/--scale.
 
 fn main() {
-    let cfg = lcws_bench::SweepConfig::from_args_with_default_variants("ws,uslcws,signal,cons,half");
+    let cfg =
+        lcws_bench::SweepConfig::from_args_with_default_variants("ws,uslcws,signal,cons,half");
     let ms = lcws_bench::sweep(&cfg);
     lcws_bench::figures::stats54(&ms).print();
 }

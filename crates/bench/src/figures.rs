@@ -9,9 +9,7 @@ use lcws_core::{Counter, Variant};
 
 use crate::report::Report;
 use crate::stats::{fraction_above, geomean, BoxStats};
-use crate::sweep::{
-    by_config, metric_ratios, speedups_vs_ws, unstolen_fractions, Measurement,
-};
+use crate::sweep::{by_config, metric_ratios, speedups_vs_ws, unstolen_fractions, Measurement};
 
 fn box_section(
     report: &mut Report,
@@ -37,9 +35,7 @@ fn box_section(
 /// successful-steal ratio, % exposed-but-unstolen), box plots over all
 /// benchmark configurations per processor count.
 pub fn fig3(ms: &[Measurement]) -> Report {
-    let mut r = Report::new(
-        "Figure 3 — Profile of USLCWS vs WS across all PBBS configurations",
-    );
+    let mut r = Report::new("Figure 3 — Profile of USLCWS vs WS across all PBBS configurations");
     box_section(
         &mut r,
         "fig3a_fence_ratio",
@@ -114,7 +110,10 @@ pub fn fig6(ms: &[Measurement]) -> Report {
         r.section(variant.label());
         for (p, values) in speedups_vs_ws(ms, variant) {
             let f = fraction_above(&values, 1.0) * 100.0;
-            r.line(format!("P={p:<3} {f:5.1}% of {} configurations", values.len()));
+            r.line(format!(
+                "P={p:<3} {f:5.1}% of {} configurations",
+                values.len()
+            ));
             rows.push(format!("{},{p},{f:.2},{}", variant.name(), values.len()));
         }
     }
@@ -185,9 +184,10 @@ pub fn fig8(ms: &[Measurement]) -> Report {
         let idx = by_config(ms);
         let mut data: std::collections::BTreeMap<usize, Vec<f64>> = Default::default();
         for ((_l, p), variants) in &idx {
-            if let (Some(s), Some(u)) =
-                (variants.get(&Variant::Signal), variants.get(&Variant::UsLcws))
-            {
+            if let (Some(s), Some(u)) = (
+                variants.get(&Variant::Signal),
+                variants.get(&Variant::UsLcws),
+            ) {
                 if let (Some(fs), Some(fu)) = (
                     s.metrics.unstolen_exposure_ratio(),
                     u.metrics.unstolen_exposure_ratio(),
@@ -234,7 +234,10 @@ pub fn stats52(ms: &[Measurement]) -> Report {
         ("≥ 1.20", 1.20),
     ] {
         let f = fraction_above(&all, thr - 1e-12) * 100.0;
-        r.line(format!("speedup {label}: {f:5.1}% of {} executions", all.len()));
+        r.line(format!(
+            "speedup {label}: {f:5.1}% of {} executions",
+            all.len()
+        ));
         rows.push(format!("{thr},{f:.2},{}", all.len()));
     }
     r.csv("stats52_signal_thresholds", "threshold,pct,n", &rows);
@@ -292,28 +295,21 @@ fn per_variant_extremes(r: &mut Report, ms: &[Measurement], variant: Variant, cs
             }
         }
     }
-    let all: Vec<f64> = per_bench
-        .values()
-        .flatten()
-        .map(|(s, _, _)| *s)
-        .collect();
+    let all: Vec<f64> = per_bench.values().flatten().map(|(s, _, _)| *s).collect();
     r.section(&format!(
         "{} vs WS: overall speedup geomean {:.4} over {} executions",
         variant.label(),
         geomean(&all),
         all.len()
     ));
-    r.section(&format!("{}: best / worst configuration per benchmark", variant.label()));
+    r.section(&format!(
+        "{}: best / worst configuration per benchmark",
+        variant.label()
+    ));
     let mut rows = Vec::new();
     for (bench, entries) in &per_bench {
-        let best = entries
-            .iter()
-            .max_by(|a, b| a.0.total_cmp(&b.0))
-            .unwrap();
-        let worst = entries
-            .iter()
-            .min_by(|a, b| a.0.total_cmp(&b.0))
-            .unwrap();
+        let best = entries.iter().max_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
+        let worst = entries.iter().min_by(|a, b| a.0.total_cmp(&b.0)).unwrap();
         r.line(format!(
             "{bench:<26} best {:+6.1}% ({}, P={})   worst {:+6.1}% ({}, P={})",
             (best.0 - 1.0) * 100.0,

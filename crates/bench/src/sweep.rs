@@ -172,9 +172,7 @@ pub fn sweep(cfg: &SweepConfig) -> Vec<Measurement> {
                 }
                 // Deterministic-output sanity: all variants and thread
                 // counts must agree per instance.
-                let entry = checksum_by_config
-                    .entry(inst.label())
-                    .or_insert(checksum);
+                let entry = checksum_by_config.entry(inst.label()).or_insert(checksum);
                 if *entry != checksum {
                     eprintln!(
                         "WARNING: {} produced differing checksums across runs \
@@ -210,9 +208,7 @@ pub fn sweep(cfg: &SweepConfig) -> Vec<Measurement> {
 }
 
 /// Index measurements as `(label, threads) → variant → measurement`.
-pub fn by_config(
-    ms: &[Measurement],
-) -> HashMap<ConfigKey, HashMap<Variant, &Measurement>> {
+pub fn by_config(ms: &[Measurement]) -> HashMap<ConfigKey, HashMap<Variant, &Measurement>> {
     let mut map: HashMap<ConfigKey, HashMap<Variant, &Measurement>> = HashMap::new();
     for m in ms {
         map.entry((m.label(), m.threads))

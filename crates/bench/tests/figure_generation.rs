@@ -40,17 +40,80 @@ fn m(
 fn sample_measurements() -> Vec<Measurement> {
     vec![
         // Config A at P=2: USLCWS 25% faster than WS, 1% of the fences.
-        m("bfs", "rmat", Variant::Ws, 2, 1.00, snap(10_000, 500, 40, 0, 0)),
-        m("bfs", "rmat", Variant::UsLcws, 2, 0.80, snap(100, 200, 30, 50, 20)),
-        m("bfs", "rmat", Variant::Signal, 2, 0.90, snap(80, 180, 35, 40, 5)),
+        m(
+            "bfs",
+            "rmat",
+            Variant::Ws,
+            2,
+            1.00,
+            snap(10_000, 500, 40, 0, 0),
+        ),
+        m(
+            "bfs",
+            "rmat",
+            Variant::UsLcws,
+            2,
+            0.80,
+            snap(100, 200, 30, 50, 20),
+        ),
+        m(
+            "bfs",
+            "rmat",
+            Variant::Signal,
+            2,
+            0.90,
+            snap(80, 180, 35, 40, 5),
+        ),
         // Config B at P=2: USLCWS 20% slower.
-        m("sort", "rand", Variant::Ws, 2, 2.00, snap(50_000, 900, 10, 0, 0)),
-        m("sort", "rand", Variant::UsLcws, 2, 2.50, snap(600, 300, 5, 80, 60)),
-        m("sort", "rand", Variant::Signal, 2, 1.90, snap(500, 250, 8, 30, 3)),
+        m(
+            "sort",
+            "rand",
+            Variant::Ws,
+            2,
+            2.00,
+            snap(50_000, 900, 10, 0, 0),
+        ),
+        m(
+            "sort",
+            "rand",
+            Variant::UsLcws,
+            2,
+            2.50,
+            snap(600, 300, 5, 80, 60),
+        ),
+        m(
+            "sort",
+            "rand",
+            Variant::Signal,
+            2,
+            1.90,
+            snap(500, 250, 8, 30, 3),
+        ),
         // Config A at P=4.
-        m("bfs", "rmat", Variant::Ws, 4, 0.70, snap(12_000, 800, 90, 0, 0)),
-        m("bfs", "rmat", Variant::UsLcws, 4, 0.77, snap(900, 500, 60, 200, 150)),
-        m("bfs", "rmat", Variant::Signal, 4, 0.70, snap(700, 450, 80, 90, 10)),
+        m(
+            "bfs",
+            "rmat",
+            Variant::Ws,
+            4,
+            0.70,
+            snap(12_000, 800, 90, 0, 0),
+        ),
+        m(
+            "bfs",
+            "rmat",
+            Variant::UsLcws,
+            4,
+            0.77,
+            snap(900, 500, 60, 200, 150),
+        ),
+        m(
+            "bfs",
+            "rmat",
+            Variant::Signal,
+            4,
+            0.70,
+            snap(700, 450, 80, 90, 10),
+        ),
     ]
 }
 

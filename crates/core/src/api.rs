@@ -16,6 +16,7 @@ use lcws_metrics::Counter;
 use parking_lot::Mutex;
 
 use crate::job::HeapJob;
+use crate::sleep::{IdleAction, IdleBackoff, IdlePolicy};
 use crate::worker::{current_ctx, WorkerCtx};
 
 /// Run `a` and `b` potentially in parallel, returning both results.
@@ -200,13 +201,27 @@ where
     let result = panic::catch_unwind(AssertUnwindSafe(|| f(&sc)));
     // Drain: help run work until every spawned task has completed. Spawned
     // jobs sit in deques and cannot be abandoned even if `f` panicked.
+    // Fruitless helping escalates spin → yield → park; task completion does
+    // not wake sleepers, so the park's timed backstop bounds the wait.
     let ctx = current_ctx();
+    let mut backoff = IdleBackoff::new(if ctx.is_null() {
+        IdlePolicy::SpinOnly
+    } else {
+        unsafe { (*ctx).idle_policy() }
+    });
     while sc.pending.load(Ordering::Acquire) != 0 {
         debug_assert!(!ctx.is_null(), "pending scope tasks require a pool");
         let worked = unsafe { help_one(&*ctx) };
-        if !worked {
+        if worked {
+            backoff.reset();
+        } else {
             metrics::bump(Counter::IdleIter);
-            std::thread::yield_now();
+            match backoff.next() {
+                IdleAction::Park => unsafe {
+                    (*ctx).park_until(|| sc.pending.load(Ordering::Acquire) == 0)
+                },
+                action => IdleBackoff::relax(action),
+            }
         }
     }
     let task_panic = sc.panic.lock().take();

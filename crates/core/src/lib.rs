@@ -69,6 +69,7 @@ pub mod deque;
 mod job;
 mod pool;
 mod signal;
+mod sleep;
 mod variant;
 mod worker;
 
@@ -80,6 +81,7 @@ pub use deque::{double2int, ExposurePolicy, PopBottomMode, SplitDeque};
 pub use job::Job;
 pub use pool::{PoolBuilder, ThreadPool};
 pub use signal::EXPOSE_SIGNAL;
+pub use sleep::IdlePolicy;
 pub use variant::{ParseVariantError, Variant};
 
 // Re-export the metrics surface users need to interpret `run_measured`.

@@ -20,6 +20,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::deque::{AbpDeque, SplitDeque, DEFAULT_DEQUE_CAPACITY};
 use crate::signal;
+use crate::sleep::{IdlePolicy, Sleep};
 use crate::variant::Variant;
 use crate::worker::{current_ctx, WorkerCtx};
 
@@ -37,6 +38,11 @@ pub(crate) struct WorkerShared {
     /// pthread handle for `pthread_kill` notifications; registered before
     /// the worker can be targeted.
     pub(crate) pthread: AtomicU64,
+    /// Set by this worker's `SIGUSR1` handler after it exposes work, in
+    /// lieu of waking sleepers directly (condvar notify is not
+    /// async-signal-safe). The owner drains it on its next deque access
+    /// and performs the wake then.
+    pub(crate) wake_pending: CachePadded<AtomicBool>,
 }
 
 impl WorkerShared {
@@ -50,6 +56,7 @@ impl WorkerShared {
             deque,
             targeted: CachePadded::new(AtomicBool::new(false)),
             pthread: AtomicU64::new(0),
+            wake_pending: CachePadded::new(AtomicBool::new(false)),
         }
     }
 }
@@ -59,6 +66,10 @@ pub(crate) struct PoolInner {
     pub(crate) variant: Variant,
     pub(crate) workers: Box<[WorkerShared]>,
     pub(crate) collector: Arc<Collector>,
+    /// Sleeper subsystem for idle workers (spin → yield → park).
+    pub(crate) sleep: Sleep,
+    /// Idle escalation policy the workers run with.
+    pub(crate) idle: IdlePolicy,
     /// Run generation; bumped (under `sync`) to start a run.
     epoch: AtomicU64,
     /// Last completed generation; helpers exit their work loop when it
@@ -80,6 +91,7 @@ pub struct PoolBuilder {
     variant: Variant,
     threads: Option<usize>,
     deque_capacity: usize,
+    idle: IdlePolicy,
 }
 
 impl PoolBuilder {
@@ -89,6 +101,7 @@ impl PoolBuilder {
             variant,
             threads: None,
             deque_capacity: DEFAULT_DEQUE_CAPACITY,
+            idle: IdlePolicy::default(),
         }
     }
 
@@ -103,6 +116,14 @@ impl PoolBuilder {
     /// Per-worker deque capacity in slots.
     pub fn deque_capacity(mut self, capacity: usize) -> PoolBuilder {
         self.deque_capacity = capacity;
+        self
+    }
+
+    /// How idle workers behave: [`IdlePolicy::Adaptive`] (default) parks
+    /// fully-escalated idlers; [`IdlePolicy::SpinOnly`] reproduces the
+    /// old always-runnable busy-wait for idle-cost comparisons.
+    pub fn idle_policy(mut self, idle: IdlePolicy) -> PoolBuilder {
+        self.idle = idle;
         self
     }
 
@@ -122,6 +143,8 @@ impl PoolBuilder {
             .into_boxed_slice();
         let inner = Arc::new(PoolInner {
             variant: self.variant,
+            sleep: Sleep::new(threads),
+            idle: self.idle,
             workers,
             collector: Collector::new(),
             epoch: AtomicU64::new(0),
@@ -222,8 +245,7 @@ impl ThreadPool {
         // Open the generation (under the lock to avoid lost wakeups).
         {
             let _g = pool.sync.lock();
-            pool.active
-                .store(pool.workers.len() - 1, Ordering::Release);
+            pool.active.store(pool.workers.len() - 1, Ordering::Release);
             pool.epoch.fetch_add(1, Ordering::AcqRel);
             pool.start_cv.notify_all();
         }
@@ -234,9 +256,12 @@ impl ThreadPool {
             panic::catch_unwind(AssertUnwindSafe(f))
         };
 
-        // Close the generation and wait for helpers to drain out.
+        // Close the generation and wait for helpers to drain out. Helpers
+        // may be parked in the sleeper: wake them all so they can observe
+        // the closed generation and quiesce promptly.
         pool.done_epoch
             .store(pool.epoch.load(Ordering::Acquire), Ordering::Release);
+        pool.sleep.wake_all();
         lcws_metrics::flush_into(&pool.collector);
         {
             let mut g = pool.sync.lock();

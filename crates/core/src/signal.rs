@@ -24,6 +24,7 @@
 //! [`crate::deque::SplitDeque`]).
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Once;
 
 use lcws_metrics as metrics;
@@ -39,6 +40,13 @@ pub const EXPOSE_SIGNAL: libc::c_int = libc::SIGUSR1;
 pub(crate) struct HandlerCtx {
     pub deque: *const SplitDeque,
     pub policy: ExposurePolicy,
+    /// Deferred-wake flag for the sleeper subsystem (null to disable).
+    /// The handler must **not** wake sleepers itself — condvar
+    /// notification locks a mutex the interrupted thread might hold, which
+    /// is not async-signal-safe. It only stores `true` here; the owner
+    /// drains the flag on its next deque access and performs the wake
+    /// outside signal context.
+    pub wake_pending: *const AtomicBool,
 }
 
 thread_local! {
@@ -59,7 +67,13 @@ extern "C" fn expose_handler(_sig: libc::c_int) {
     // owner-only contract holds.
     unsafe {
         metrics::bump(metrics::Counter::ExposureRequest);
-        (*(*ctx).deque).update_public_bottom((*ctx).policy);
+        let exposed = (*(*ctx).deque).update_public_bottom((*ctx).policy);
+        // Exposed work could feed a parked thief, but waking from a signal
+        // handler is forbidden (see `HandlerCtx::wake_pending`): record the
+        // event with a plain atomic store and let the owner wake.
+        if exposed > 0 && !(*ctx).wake_pending.is_null() {
+            (*(*ctx).wake_pending).store(true, Ordering::Release);
+        }
     }
 }
 
@@ -138,6 +152,7 @@ mod tests {
             let ctx = HandlerCtx {
                 deque: &*d2,
                 policy: ExposurePolicy::One,
+                wake_pending: std::ptr::null(),
             };
             unsafe { set_handler_ctx(&ctx) };
             ready2.store(true, Ordering::Release);

@@ -1,0 +1,441 @@
+//! Adaptive idle management for the steal loop: spin → yield → park.
+//!
+//! The schedulers' thieves used to busy-wait (`yield_now` per idle
+//! iteration) whenever no work was stealable. That burns a full core per
+//! idle worker, inflates the `IdleIter` profile, and — on loaded machines —
+//! steals cycles from the workers that *do* have work. This module gives
+//! each pool a [`Sleep`] subsystem with the classic three-stage escalation:
+//!
+//! 1. **Spin**: a bounded number of `spin_loop` rounds, keeping the thief
+//!    hot for the common case where work reappears within microseconds.
+//! 2. **Yield**: a bounded number of `yield_now` rounds, giving the OS a
+//!    chance to run somebody useful while staying runnable.
+//! 3. **Park**: block on a per-worker mutex/condvar slot, registered in a
+//!    pool-wide sleeper set so producers can find and wake sleepers in
+//!    `O(words)` time.
+//!
+//! ## The announce-then-sleep race (no lost wakeups)
+//!
+//! Parking uses an eventcount protocol around a global [`Sleep::epoch`]:
+//!
+//! * **Sleeper**: read `epoch` (SeqCst) → publish the worker's bit in the
+//!   sleeper mask (`fetch_or`, SeqCst — a full barrier) → *recheck* for
+//!   work → take the slot lock and re-validate (`epoch` unchanged and no
+//!   wakeup pending) → wait on the condvar.
+//! * **Waker**: make the work visible (push / boundary move) → bump
+//!   `epoch` (SeqCst RMW) → scan the mask → mark each chosen slot woken
+//!   under its lock → `notify_one`.
+//!
+//! In the SeqCst total order, either the waker's epoch bump precedes the
+//! sleeper's epoch read — then the sleeper's recheck (or its under-lock
+//! epoch re-validation) observes the work/bump and aborts the park — or
+//! the sleeper's mask publication precedes the waker's mask scan, and the
+//! waker delivers a wakeup through the slot (the `woken` flag absorbs a
+//! notify that lands before the wait starts). Either way, no wakeup is
+//! lost. As a belt-and-braces backstop against protocol-analysis slips
+//! (and because join/scope completion events deliberately do not wake —
+//! see below), every park is *timed*: a parked worker re-polls after
+//! [`PARK_TIMEOUT`] at the latest.
+//!
+//! ## What wakes sleepers
+//!
+//! * `push_job` on any deque (new local work a thief could take or expose).
+//! * Work-exposure events on a split deque: the USLCWS owner-side
+//!   `update_public_bottom`, and — for the signal variants — the handler's
+//!   exposure, *deferred to the owner* (next point).
+//! * Pool run close (`done_epoch` store), which wakes **all** sleepers so
+//!   helpers can observe `finished()` and quiesce.
+//!
+//! The `SIGUSR1` handler itself must **never** call the waker: condvar
+//! notify takes a lock and is not async-signal-safe (the interrupted
+//! thread might hold that very lock). The handler only stores a flag
+//! ([`crate::pool::WorkerShared::wake_pending`]); the owner drains the
+//! flag and performs the wake on its next deque access, keeping the
+//! handler confined to flag stores.
+//!
+//! Join and scope waiters also park through this module, but nothing wakes
+//! them on *job completion* (threading completion events through every
+//! `Job` would put a sleeper-mask check on the execute fast path). They
+//! rely on the timed-park backstop, which is fine: a waiter only reaches
+//! the park stage after the full spin+yield ladder, i.e. when the awaited
+//! job is long-running and an extra sub-millisecond of latency is noise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crossbeam_utils::CachePadded;
+use lcws_metrics as metrics;
+use lcws_metrics::Counter;
+use parking_lot::{Condvar, Mutex};
+
+/// Spin-loop rounds before escalating to yields (stage 1 length).
+const SPIN_ROUNDS: u32 = 64;
+/// `yield_now` rounds before escalating to parking (stage 2 length).
+const YIELD_ROUNDS: u32 = 16;
+/// Timed-park backstop: the longest a worker stays blocked without
+/// re-polling, bounding the cost of any missed wakeup to one timeout.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// How a pool's idle workers behave once out of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdlePolicy {
+    /// Full spin → yield → park escalation (the default).
+    #[default]
+    Adaptive,
+    /// Never park: spin/yield forever, as the pre-sleeper schedulers did.
+    /// Kept for A/B comparisons of idle cost (see the `idle_wakeup` bench
+    /// and the sleeper integration tests).
+    SpinOnly,
+}
+
+/// What the backoff ladder tells an idle worker to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IdleAction {
+    /// Stay hot: issue a few `spin_loop` hints.
+    Spin,
+    /// Stay runnable but let others in: `yield_now`.
+    Yield,
+    /// Escalate to a timed condvar park.
+    Park,
+}
+
+/// Per-idle-episode escalation state. One instance lives on the stack of
+/// each steal/wait loop; `reset` on any progress.
+pub(crate) struct IdleBackoff {
+    policy: IdlePolicy,
+    step: u32,
+}
+
+impl IdleBackoff {
+    pub(crate) fn new(policy: IdlePolicy) -> IdleBackoff {
+        IdleBackoff { policy, step: 0 }
+    }
+
+    /// Record that the worker made progress: restart the ladder.
+    #[inline]
+    pub(crate) fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Next action for one fruitless iteration.
+    #[inline]
+    pub(crate) fn next(&mut self) -> IdleAction {
+        let step = self.step;
+        self.step = self.step.saturating_add(1);
+        if step < SPIN_ROUNDS {
+            IdleAction::Spin
+        } else if step < SPIN_ROUNDS + YIELD_ROUNDS || self.policy == IdlePolicy::SpinOnly {
+            IdleAction::Yield
+        } else {
+            IdleAction::Park
+        }
+    }
+
+    /// Execute one non-parking action (shared by all idle loops).
+    #[inline]
+    pub(crate) fn relax(action: IdleAction) {
+        match action {
+            IdleAction::Spin => {
+                for _ in 0..8 {
+                    std::hint::spin_loop();
+                }
+            }
+            IdleAction::Yield | IdleAction::Park => std::thread::yield_now(),
+        }
+    }
+}
+
+/// One worker's parking place.
+struct SleepSlot {
+    /// `true` while a wakeup is pending for this slot; set by wakers under
+    /// the lock, consumed by the sleeper.
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Pool-wide sleeper subsystem: the eventcount epoch, the sleeper set, and
+/// one [`SleepSlot`] per worker.
+pub(crate) struct Sleep {
+    /// Eventcount epoch; bumped (SeqCst) by every wake so in-flight parks
+    /// can detect that a wakeup raced past them.
+    epoch: CachePadded<AtomicU64>,
+    /// Sleeper set: bit `w % 64` of word `w / 64` is set while worker `w`
+    /// is announcing or inside a park.
+    mask: Box<[CachePadded<AtomicU64>]>,
+    slots: Box<[SleepSlot]>,
+}
+
+impl Sleep {
+    pub(crate) fn new(workers: usize) -> Sleep {
+        let words = workers.div_ceil(64).max(1);
+        Sleep {
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            mask: (0..words)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            slots: (0..workers)
+                .map(|_| SleepSlot {
+                    woken: Mutex::new(false),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Fast-path producer gate: is any worker announced in the sleeper set?
+    /// One relaxed load per mask word — this is all a push pays when nobody
+    /// sleeps, keeping the sleeper invisible on the hot path.
+    #[inline]
+    pub(crate) fn has_sleepers(&self) -> bool {
+        self.mask.iter().any(|w| w.load(Ordering::Relaxed) != 0)
+    }
+
+    /// Block worker `index` until woken, the timed backstop fires, or
+    /// `should_abort` reports that parking is (no longer) warranted.
+    ///
+    /// `should_abort` is re-evaluated *after* the worker announces itself
+    /// in the sleeper set — that ordering, against the waker's
+    /// publish-work-then-bump-epoch ordering, is what closes the
+    /// announce-then-sleep race (see the module docs).
+    pub(crate) fn park(&self, index: usize, should_abort: impl Fn() -> bool) {
+        let slot = &self.slots[index];
+        let (word, bit) = (index / 64, 1u64 << (index % 64));
+
+        // Eventcount read: any wake that happens after this point either
+        // bumps the epoch we re-validate under the lock, or sees our mask
+        // bit and delivers through the slot.
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        // Announce. SeqCst RMW: full barrier between the announcement and
+        // the recheck's loads.
+        self.mask[word].fetch_or(bit, Ordering::SeqCst);
+
+        // Recheck: did work appear (or the run finish) while we decided to
+        // sleep? Producers publish work *before* scanning the mask, so
+        // missing it here means they will see our bit.
+        if should_abort() {
+            self.retire(index);
+            return;
+        }
+
+        let mut woken = slot.woken.lock();
+        // A waker that bumped the epoch after our read above may have
+        // already marked us woken, or may still be about to; either way the
+        // epoch moved and we must not block on a condvar nobody will ping.
+        if *woken || self.epoch.load(Ordering::SeqCst) != epoch {
+            *woken = false;
+            drop(woken);
+            self.retire(index);
+            return;
+        }
+
+        metrics::bump(Counter::Park);
+        let _ = slot.cv.wait_for(&mut woken, PARK_TIMEOUT);
+        if *woken {
+            *woken = false;
+        } else {
+            // Timeout expiry or spurious condvar return: nobody signed up
+            // to wake us, so count it against the backstop.
+            metrics::bump(Counter::SpuriousWake);
+        }
+        drop(woken);
+        self.retire(index);
+    }
+
+    /// Withdraw worker `index` from the sleeper set and absorb any wakeup
+    /// that was delivered concurrently (so a stale `woken` can never leak
+    /// into the next park).
+    fn retire(&self, index: usize) {
+        let (word, bit) = (index / 64, 1u64 << (index % 64));
+        self.mask[word].fetch_and(!bit, Ordering::SeqCst);
+        let mut woken = self.slots[index].woken.lock();
+        *woken = false;
+    }
+
+    /// Wake one sleeper, if any. Producers call this after making new work
+    /// visible (push, exposure). Cheap when the sleeper set is empty.
+    ///
+    /// The empty-set gate is a Relaxed load, so a store-buffering
+    /// interleaving exists where the producer's work-store is not yet
+    /// visible to a sleeper's recheck while the sleeper's mask bit is not
+    /// yet visible here (closing it would put a SeqCst fence on every
+    /// producer fast path — the very cost this crate exists to avoid). The
+    /// window costs at most one [`PARK_TIMEOUT`], absorbed by the timed
+    /// park.
+    pub(crate) fn wake_one(&self) {
+        if !self.has_sleepers() {
+            return;
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        for (w, word) in self.mask.iter().enumerate() {
+            let mut bits = word.load(Ordering::SeqCst);
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.deliver(w * 64 + bit) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Wake every sleeper (run close, teardown).
+    pub(crate) fn wake_all(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        for (w, word) in self.mask.iter().enumerate() {
+            let mut bits = word.load(Ordering::SeqCst);
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.deliver(w * 64 + bit);
+            }
+        }
+    }
+
+    /// Mark `index`'s slot woken and ping its condvar. Returns whether a
+    /// wakeup was (newly) delivered.
+    fn deliver(&self, index: usize) -> bool {
+        let slot = &self.slots[index];
+        let mut woken = slot.woken.lock();
+        if *woken {
+            // Already has a pending wakeup from another producer.
+            return false;
+        }
+        *woken = true;
+        slot.cv.notify_one();
+        metrics::bump(Counter::Unpark);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let mut b = IdleBackoff::new(IdlePolicy::Adaptive);
+        for _ in 0..SPIN_ROUNDS {
+            assert_eq!(b.next(), IdleAction::Spin);
+        }
+        for _ in 0..YIELD_ROUNDS {
+            assert_eq!(b.next(), IdleAction::Yield);
+        }
+        assert_eq!(b.next(), IdleAction::Park);
+        assert_eq!(b.next(), IdleAction::Park);
+        b.reset();
+        assert_eq!(b.next(), IdleAction::Spin);
+    }
+
+    #[test]
+    fn spin_only_never_parks() {
+        let mut b = IdleBackoff::new(IdlePolicy::SpinOnly);
+        for _ in 0..(SPIN_ROUNDS + YIELD_ROUNDS + 100) {
+            assert_ne!(b.next(), IdleAction::Park);
+        }
+    }
+
+    #[test]
+    fn park_aborts_when_work_already_visible() {
+        let sleep = Sleep::new(2);
+        let start = Instant::now();
+        sleep.park(0, || true);
+        // An aborted park must not block for the timeout.
+        assert!(start.elapsed() < PARK_TIMEOUT);
+        assert!(!sleep.has_sleepers());
+    }
+
+    #[test]
+    fn wake_one_wakes_a_parked_worker() {
+        let sleep = Arc::new(Sleep::new(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let parks = Arc::new(AtomicUsize::new(0));
+        let s2 = Arc::clone(&sleep);
+        let stop2 = Arc::clone(&stop);
+        let parks2 = Arc::clone(&parks);
+        let h = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Acquire) {
+                s2.park(0, || stop2.load(Ordering::Acquire));
+                parks2.fetch_add(1, Ordering::AcqRel);
+            }
+        });
+        // Drive several wake rounds through the slot.
+        for _ in 0..10 {
+            let before = parks.load(Ordering::Acquire);
+            sleep.wake_one();
+            let t0 = Instant::now();
+            while parks.load(Ordering::Acquire) == before {
+                assert!(t0.elapsed() < Duration::from_secs(5), "wakeup lost");
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Release);
+        sleep.wake_all();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wake_all_wakes_every_parked_worker() {
+        const P: usize = 4;
+        let sleep = Arc::new(Sleep::new(P));
+        let released = Arc::new(AtomicUsize::new(0));
+        let go = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..P)
+            .map(|i| {
+                let sleep = Arc::clone(&sleep);
+                let released = Arc::clone(&released);
+                let go = Arc::clone(&go);
+                std::thread::spawn(move || {
+                    while !go.load(Ordering::Acquire) {
+                        sleep.park(i, || go.load(Ordering::Acquire));
+                    }
+                    released.fetch_add(1, Ordering::AcqRel);
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(5));
+        go.store(true, Ordering::Release);
+        sleep.wake_all();
+        let t0 = Instant::now();
+        while released.load(Ordering::Acquire) != P {
+            assert!(t0.elapsed() < Duration::from_secs(5), "a sleeper was lost");
+            std::thread::yield_now();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn no_lost_wakeup_under_contention() {
+        // One producer repeatedly: publish a token, wake. One consumer:
+        // park unless a token is visible, consume. If a wakeup could be
+        // lost, the consumer would stall for the full timeout each round
+        // and the loop would blow the deadline.
+        let sleep = Arc::new(Sleep::new(1));
+        let tokens = Arc::new(AtomicUsize::new(0));
+        const ROUNDS: usize = 20_000;
+        let s2 = Arc::clone(&sleep);
+        let t2 = Arc::clone(&tokens);
+        let consumer = std::thread::spawn(move || {
+            let mut got = 0usize;
+            while got < ROUNDS {
+                if t2
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+                    .is_ok()
+                {
+                    got += 1;
+                } else {
+                    s2.park(0, || t2.load(Ordering::Acquire) > 0);
+                }
+            }
+        });
+        for _ in 0..ROUNDS {
+            tokens.fetch_add(1, Ordering::AcqRel);
+            sleep.wake_one();
+        }
+        consumer.join().unwrap();
+    }
+}

@@ -86,9 +86,7 @@ impl Variant {
             // USLCWS never exposes asynchronously; Conservative exposure
             // provably never publishes the bottom-most task. Both keep the
             // original comparison.
-            Variant::Ws | Variant::UsLcws | Variant::SignalConservative => {
-                PopBottomMode::Standard
-            }
+            Variant::Ws | Variant::UsLcws | Variant::SignalConservative => PopBottomMode::Standard,
             // The base signal scheduler and Expose Half may expose the task
             // the owner is popping, so they need decrement-then-compare.
             Variant::Signal | Variant::SignalHalf => PopBottomMode::SignalSafe,

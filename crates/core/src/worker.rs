@@ -14,6 +14,7 @@ use crate::deque::Steal;
 use crate::job::{Job, StackJob};
 use crate::pool::{AnyDeque, PoolInner, WorkerShared};
 use crate::signal::{self, HandlerCtx};
+use crate::sleep::{IdleAction, IdleBackoff};
 use crate::variant::Variant;
 
 thread_local! {
@@ -57,6 +58,7 @@ impl WorkerCtx {
             handler_ctx: HandlerCtx {
                 deque,
                 policy: pool.variant.exposure_policy(),
+                wake_pending: &*pool.workers[index].wake_pending as *const _,
             },
         }
     }
@@ -106,12 +108,8 @@ impl WorkerCtx {
         x ^= x >> 7;
         x ^= x << 17;
         self.rng.set(x);
-        let r = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % (num_workers as u64 - 1)) as usize;
-        if r >= self.index {
-            r + 1
-        } else {
-            r
-        }
+        let z = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        victim_from_random(z, num_workers, self.index)
     }
 
     /// Push a job at the bottom of this worker's deque.
@@ -131,12 +129,37 @@ impl WorkerCtx {
                 }
             }
         }
+        self.drain_deferred_wake(w);
+        // New work is visible: give a parked thief a chance at it (or, for
+        // a split deque, a chance to request its exposure).
+        self.pool().sleep.wake_one();
+    }
+
+    /// Perform any wake the signal handler deferred to us (it only sets
+    /// `wake_pending`; condvar notification is not async-signal-safe).
+    #[inline]
+    fn drain_deferred_wake(&self, w: &WorkerShared) {
+        if w.wake_pending.load(Ordering::Relaxed) {
+            w.wake_pending.store(false, Ordering::Relaxed);
+            self.pool().sleep.wake_one();
+        }
+    }
+
+    /// Is any task observably present in any worker's deque (including
+    /// private split-deque parts, whose exposure a thief must stay awake
+    /// to request)? Used as the parking recheck.
+    fn any_work_visible(&self) -> bool {
+        self.pool().workers.iter().any(|w| match &w.deque {
+            AnyDeque::Abp(d) => !d.is_empty(),
+            AnyDeque::Split(d) => !d.is_empty(),
+        })
     }
 
     /// Listing 1 lines 7–17: take a task from this worker's own deque,
     /// performing the per-variant `targeted`-flag bookkeeping.
     pub(crate) fn acquire_local(&self) -> Option<*mut Job> {
         let w = self.shared();
+        self.drain_deferred_wake(w);
         match &w.deque {
             AnyDeque::Abp(d) => d.pop_bottom(),
             AnyDeque::Split(d) => {
@@ -148,7 +171,10 @@ impl WorkerCtx {
                     if variant == Variant::UsLcws && w.targeted.load(Ordering::Relaxed) {
                         w.targeted.store(false, Ordering::Relaxed);
                         metrics::bump(Counter::ExposureRequest);
-                        d.update_public_bottom(variant.exposure_policy());
+                        if d.update_public_bottom(variant.exposure_policy()) > 0 {
+                            // Freshly public work: wake a thief for it.
+                            self.pool().sleep.wake_one();
+                        }
                     }
                     return Some(task);
                 }
@@ -235,15 +261,23 @@ impl WorkerCtx {
     /// an executed task returns (its nested joins/scopes drain everything it
     /// pushed), so returning on `finished` never strands work.
     pub(crate) fn work_until(&self, finished: &dyn Fn() -> bool) {
+        let mut backoff = IdleBackoff::new(self.pool().idle);
         loop {
             if finished() {
                 return;
             }
             if let Some(job) = self.acquire_local().or_else(|| self.steal_once()) {
                 self.execute(job);
+                backoff.reset();
             } else {
                 metrics::bump(Counter::IdleIter);
-                std::thread::yield_now();
+                match backoff.next() {
+                    IdleAction::Park => self
+                        .pool()
+                        .sleep
+                        .park(self.index, || finished() || self.any_work_visible()),
+                    action => IdleBackoff::relax(action),
+                }
             }
         }
     }
@@ -297,11 +331,18 @@ impl WorkerCtx {
                 // the panic path — nobody else ever saw it.
                 return;
             }
-            debug_assert!(false, "join invariant violated: foreign job at deque bottom");
+            debug_assert!(
+                false,
+                "join invariant violated: foreign job at deque bottom"
+            );
             self.execute(job);
         }
         // The job was stolen: help along by stealing elsewhere until its
         // `done` flag (set with Release by the executor) becomes visible.
+        // Fruitless helping escalates spin → yield → park; job completion
+        // does not wake sleepers, so the park's timed backstop bounds the
+        // extra wait (see `crate::sleep` module docs).
+        let mut backoff = IdleBackoff::new(self.pool().idle);
         loop {
             // Safety: `ptr` refers to a StackJob frame that outlives this
             // loop by construction of `join`.
@@ -310,11 +351,53 @@ impl WorkerCtx {
             }
             if let Some(job) = self.steal_once() {
                 self.execute(job);
+                backoff.reset();
             } else {
                 metrics::bump(Counter::IdleIter);
-                std::thread::yield_now();
+                match backoff.next() {
+                    IdleAction::Park => self.pool().sleep.park(self.index, || {
+                        let done = unsafe { (*ptr).is_done() };
+                        done || self.any_work_visible()
+                    }),
+                    action => IdleBackoff::relax(action),
+                }
             }
         }
+    }
+
+    /// Park this worker until `done` reports completion, work appears, or
+    /// the timed backstop fires. Used by the scope drain loop in `api.rs`.
+    pub(crate) fn park_until(&self, done: impl Fn() -> bool) {
+        self.pool()
+            .sleep
+            .park(self.index, || done() || self.any_work_visible());
+    }
+
+    /// The pool's idle escalation policy (for idle loops outside this
+    /// module).
+    pub(crate) fn idle_policy(&self) -> crate::sleep::IdlePolicy {
+        self.pool().idle
+    }
+}
+
+/// Map a full-width random word to a victim index in
+/// `[0, num_workers) \ {self_index}`, without modulo bias: the
+/// widening-multiply trick (`(z * n) >> 64`) maps the uniform 64-bit word
+/// to `[0, n)` with per-value probability error below 2⁻⁶⁴⁺ˡᵒᵍ²⁽ⁿ⁾,
+/// whereas `z % n` overweights small residues by up to `n / 2⁶⁴` — a real
+/// skew at the 2⁶⁴-period scale of xorshift64* streams. The candidate is
+/// drawn from `n − 1` slots and indices ≥ `self_index` shift up by one,
+/// which preserves uniformity over the remaining workers and never
+/// selects self.
+#[inline]
+pub(crate) fn victim_from_random(z: u64, num_workers: usize, self_index: usize) -> usize {
+    debug_assert!(num_workers >= 2 && self_index < num_workers);
+    let n = (num_workers - 1) as u64;
+    let r = ((z as u128 * n as u128) >> 64) as usize;
+    if r >= self_index {
+        r + 1
+    } else {
+        r
     }
 }
 
@@ -330,5 +413,82 @@ impl Drop for CtxGuard<'_> {
             unsafe { signal::set_handler_ctx(ptr::null()) };
         }
         CURRENT.with(|c| c.set(ptr::null()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::victim_from_random;
+
+    /// The xorshift64* step used by `random_victim`, extracted for
+    /// distribution testing.
+    fn xorshift_star(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    #[test]
+    fn victim_never_self_and_in_range() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for num_workers in 2..=9usize {
+            for self_index in 0..num_workers {
+                for _ in 0..1_000 {
+                    let z = xorshift_star(&mut state);
+                    let v = victim_from_random(z, num_workers, self_index);
+                    assert!(v < num_workers, "victim out of range");
+                    assert_ne!(v, self_index, "picked self as victim");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn victim_distribution_is_near_uniform() {
+        // With the old `z % (n-1)` reduction, a worker count of the form
+        // where 2^64 % (n-1) != 0 skews low indices; the widening multiply
+        // keeps every victim within a tight band of the expected count.
+        const DRAWS: usize = 1_000_000;
+        for (num_workers, self_index) in [(3usize, 0usize), (5, 2), (7, 6), (48, 17)] {
+            let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (num_workers as u64) << 8;
+            let mut counts = vec![0u64; num_workers];
+            for _ in 0..DRAWS {
+                let z = xorshift_star(&mut state);
+                counts[victim_from_random(z, num_workers, self_index)] += 1;
+            }
+            assert_eq!(counts[self_index], 0);
+            let expected = DRAWS as f64 / (num_workers - 1) as f64;
+            for (i, &c) in counts.iter().enumerate() {
+                if i == self_index {
+                    continue;
+                }
+                let dev = (c as f64 - expected).abs() / expected;
+                assert!(
+                    dev < 0.02,
+                    "victim {i} of {num_workers} (self {self_index}): count {c} deviates \
+                     {:.2}% from expected {expected:.0}",
+                    dev * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn victim_covers_all_other_workers() {
+        let mut state = 42u64;
+        let num_workers = 6;
+        for self_index in 0..num_workers {
+            let mut seen = vec![false; num_workers];
+            for _ in 0..10_000 {
+                let z = xorshift_star(&mut state);
+                seen[victim_from_random(z, num_workers, self_index)] = true;
+            }
+            for (i, &s) in seen.iter().enumerate() {
+                assert_eq!(s, i != self_index, "coverage hole at worker {i}");
+            }
+        }
     }
 }

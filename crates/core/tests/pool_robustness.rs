@@ -49,7 +49,9 @@ fn sequential_runs_from_different_caller_threads() {
     let pool = std::sync::Arc::new(ThreadPool::new(Variant::Signal, 2));
     for k in 0..4u64 {
         let p = std::sync::Arc::clone(&pool);
-        let out = std::thread::spawn(move || p.run(move || k * 2)).join().unwrap();
+        let out = std::thread::spawn(move || p.run(move || k * 2))
+            .join()
+            .unwrap();
         assert_eq!(out, k * 2);
     }
 }

@@ -79,7 +79,11 @@ fn long_sequential_task_gets_work_exposed_mid_task() {
     // *during* the long task. We verify both siblings complete and, on
     // multi-worker signal pools, that the run makes progress regardless of
     // which worker takes what.
-    for variant in [Variant::Signal, Variant::SignalConservative, Variant::SignalHalf] {
+    for variant in [
+        Variant::Signal,
+        Variant::SignalConservative,
+        Variant::SignalHalf,
+    ] {
         let pool = ThreadPool::new(variant, 4);
         let ((_, b), metrics) = pool.run_measured(|| {
             join(
@@ -129,7 +133,11 @@ fn panics_in_stolen_tasks_propagate_to_root() {
         }));
         assert!(caught.is_err(), "variant {variant} swallowed the panic");
         // Pool remains usable afterwards.
-        assert_eq!(pool.run(|| fib(8)), 21, "variant {variant} broken after panic");
+        assert_eq!(
+            pool.run(|| fib(8)),
+            21,
+            "variant {variant} broken after panic"
+        );
     }
 }
 
@@ -175,7 +183,10 @@ fn lcws_uses_far_fewer_fences_than_ws_on_low_parallelism() {
     let us = ThreadPool::new(Variant::UsLcws, 2);
     let (_, us_m) = us.run_measured(|| par_for_grain(0..n, 64, work));
 
-    assert!(ws_m.fences() > 1_000, "WS should fence per local op: {ws_m}");
+    assert!(
+        ws_m.fences() > 1_000,
+        "WS should fence per local op: {ws_m}"
+    );
     let ratio = us_m.fences() as f64 / ws_m.fences() as f64;
     assert!(
         ratio < 0.10,

@@ -8,7 +8,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use lcws_core::{join, par_for_grain, ThreadPool, Variant};
 
-fn spray_signals<T>(pool_threads: &[libc::pthread_t], stop: &AtomicBool, body: impl FnOnce() -> T) -> T {
+fn spray_signals<T>(
+    pool_threads: &[libc::pthread_t],
+    stop: &AtomicBool,
+    body: impl FnOnce() -> T,
+) -> T {
     std::thread::scope(|s| {
         for &target in pool_threads {
             s.spawn(move || {
@@ -31,7 +35,11 @@ fn external_signal_storm_does_not_corrupt_results() {
     // The pool's own threads are not directly reachable, but the *caller*
     // thread is worker 0: storm it specifically while it runs.
     let me = unsafe { libc::pthread_self() };
-    for variant in [Variant::Signal, Variant::SignalHalf, Variant::SignalConservative] {
+    for variant in [
+        Variant::Signal,
+        Variant::SignalHalf,
+        Variant::SignalConservative,
+    ] {
         let pool = ThreadPool::new(variant, 4);
         let stop = AtomicBool::new(false);
         let total = spray_signals(&[me], &stop, || {
@@ -54,7 +62,9 @@ fn external_signal_storm_does_not_corrupt_results() {
 fn signal_storm_against_non_worker_thread_is_harmless() {
     // A thread that never participates in any pool has a null handler
     // context: delivered signals must be pure no-ops.
-    lcws_core::PoolBuilder::new(Variant::Signal).threads(2).build(); // installs handler
+    lcws_core::PoolBuilder::new(Variant::Signal)
+        .threads(2)
+        .build(); // installs handler
     let victim_pthread = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
     std::thread::scope(|s| {

@@ -72,6 +72,15 @@ pub enum Counter {
     Push = 11,
     /// Successful local bottom pops (`pop_bottom` returned a task).
     LocalPop = 12,
+    /// Times a worker fully escalated its idle backoff and blocked on its
+    /// sleeper slot (condvar park).
+    Park = 13,
+    /// Wakeups delivered to parked workers by producers (push, exposure,
+    /// run close).
+    Unpark = 14,
+    /// Parks that ended without a matching wakeup: timed-park backstop
+    /// expiry or a spurious condvar return.
+    SpuriousWake = 15,
 }
 
 /// All counter kinds, in discriminant order.
@@ -89,10 +98,13 @@ pub const COUNTER_KINDS: [Counter; NUM_COUNTERS] = [
     Counter::TaskRun,
     Counter::Push,
     Counter::LocalPop,
+    Counter::Park,
+    Counter::Unpark,
+    Counter::SpuriousWake,
 ];
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 13;
+pub const NUM_COUNTERS: usize = 16;
 
 impl Counter {
     /// Short, stable name used in CSV headers.
@@ -111,6 +123,9 @@ impl Counter {
             Counter::TaskRun => "tasks_run",
             Counter::Push => "pushes",
             Counter::LocalPop => "local_pops",
+            Counter::Park => "parks",
+            Counter::Unpark => "unparks",
+            Counter::SpuriousWake => "spurious_wakes",
         }
     }
 }
@@ -282,6 +297,21 @@ impl Snapshot {
     /// Tasks executed.
     pub fn tasks_run(&self) -> u64 {
         self.get(Counter::TaskRun)
+    }
+
+    /// Idle thief-loop iterations that yielded no task.
+    pub fn idle_iters(&self) -> u64 {
+        self.get(Counter::IdleIter)
+    }
+
+    /// Condvar parks entered by idle workers.
+    pub fn parks(&self) -> u64 {
+        self.get(Counter::Park)
+    }
+
+    /// Wakeups delivered to parked workers.
+    pub fn unparks(&self) -> u64 {
+        self.get(Counter::Unpark)
     }
 
     /// Fraction of exposed tasks that were **not** stolen (taken back by the

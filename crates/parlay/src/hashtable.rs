@@ -58,7 +58,10 @@ impl ConcurrentSet {
             }
             i = (i + 1) & self.mask;
         }
-        panic!("ConcurrentSet overflow: all {} slots full", self.slots.len());
+        panic!(
+            "ConcurrentSet overflow: all {} slots full",
+            self.slots.len()
+        );
     }
 
     /// Is `key` present?
@@ -76,18 +79,14 @@ impl ConcurrentSet {
 
     /// Snapshot of the stored keys, in unspecified order (parallel pack).
     pub fn elements(&self) -> Vec<u64> {
-        let raw = primitives::tabulate(self.slots.len(), |i| {
-            self.slots[i].load(Ordering::Acquire)
-        });
+        let raw = primitives::tabulate(self.slots.len(), |i| self.slots[i].load(Ordering::Acquire));
         primitives::filter(&raw, |&k| k != EMPTY)
     }
 
     /// Number of stored keys (parallel count).
     pub fn len(&self) -> usize {
         primitives::count(
-            &primitives::tabulate(self.slots.len(), |i| {
-                self.slots[i].load(Ordering::Acquire)
-            }),
+            &primitives::tabulate(self.slots.len(), |i| self.slots[i].load(Ordering::Acquire)),
             |&k| k != EMPTY,
         )
     }

@@ -505,10 +505,7 @@ mod tests {
     #[test]
     fn count_and_extremes() {
         let a: Vec<i32> = (0..10_000).map(|i| (i * 37) % 1001 - 500).collect();
-        assert_eq!(
-            count(&a, |x| *x > 0),
-            a.iter().filter(|x| **x > 0).count()
-        );
+        assert_eq!(count(&a, |x| *x > 0), a.iter().filter(|x| **x > 0).count());
         let min_i = min_element(&a).unwrap();
         let max_i = max_element(&a).unwrap();
         assert_eq!(a[min_i], *a.iter().min().unwrap());

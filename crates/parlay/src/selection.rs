@@ -4,7 +4,7 @@
 
 use std::cmp::Ordering as CmpOrdering;
 
-use crate::primitives::{filter, tabulate};
+use crate::primitives::filter;
 
 /// The `k`-th smallest element (0-indexed) of `data` under `cmp`, by
 /// parallel quickselect with deterministic median-of-first/mid/last
@@ -29,9 +29,8 @@ where
             current = less;
             continue;
         }
-        let equal_count = crate::primitives::count(&current, |x| {
-            cmp(x, &pivot) == CmpOrdering::Equal
-        });
+        let equal_count =
+            crate::primitives::count(&current, |x| cmp(x, &pivot) == CmpOrdering::Equal);
         if k < less.len() + equal_count {
             return pivot;
         }
@@ -75,10 +74,7 @@ where
     T: Clone + Send + Sync,
     F: Fn(&T) -> bool + Sync,
 {
-    lcws_core::join(
-        || filter(data, |x| pred(x)),
-        || filter(data, |x| !pred(x)),
-    )
+    lcws_core::join(|| filter(data, |x| pred(x)), || filter(data, |x| !pred(x)))
 }
 
 /// Merge two sorted slices into a new sorted vector (parallel dual binary

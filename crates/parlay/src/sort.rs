@@ -84,10 +84,7 @@ where
         let (l1, l2) = left.split_at(lm);
         let (r1, r2) = right.split_at(rm);
         let (o1, o2) = out.split_at_mut(lm + rm);
-        join(
-            || par_merge(l1, r1, o1, cmp),
-            || par_merge(l2, r2, o2, cmp),
-        );
+        join(|| par_merge(l1, r1, o1, cmp), || par_merge(l2, r2, o2, cmp));
     } else {
         let rm = right.len() / 2;
         let pivot = &right[rm];
@@ -96,10 +93,7 @@ where
         let (l1, l2) = left.split_at(lm);
         let (r1, r2) = right.split_at(rm);
         let (o1, o2) = out.split_at_mut(lm + rm);
-        join(
-            || par_merge(l1, r1, o1, cmp),
-            || par_merge(l2, r2, o2, cmp),
-        );
+        join(|| par_merge(l1, r1, o1, cmp), || par_merge(l2, r2, o2, cmp));
     }
 }
 
@@ -221,9 +215,7 @@ fn radix_pass<T, K>(
     lcws_core::par_for_grain(0..blocks, 1, |b| {
         let lo = b * grain;
         let hi = ((b + 1) * grain).min(n);
-        let mut local: Vec<usize> = (0..buckets)
-            .map(|d| col_offsets[d * blocks + b])
-            .collect();
+        let mut local: Vec<usize> = (0..buckets).map(|d| col_offsets[d * blocks + b]).collect();
         for x in &src[lo..hi] {
             let d = ((key(x) >> shift) & mask) as usize;
             // Safety: offsets from the exclusive scan partition `dst`.
@@ -499,7 +491,13 @@ mod tests {
         // One dominant value: the classic sample-sort stress case.
         let r = Random::new(23);
         let mut v: Vec<u64> = (0..40_000)
-            .map(|i| if r.ith_rand(i) % 10 < 8 { 7 } else { r.ith_rand(i) % 100 })
+            .map(|i| {
+                if r.ith_rand(i) % 10 < 8 {
+                    7
+                } else {
+                    r.ith_rand(i) % 100
+                }
+            })
             .collect();
         let mut expected = v.clone();
         expected.sort();

@@ -45,11 +45,7 @@ pub fn speculative_for<S: ReserveCommit>(
         rounds += 1;
         // Admit fresh iterations up to the granularity window.
         let fresh = granularity.saturating_sub(retry.len()).min(end - next);
-        let window: Vec<usize> = retry
-            .iter()
-            .copied()
-            .chain(next..next + fresh)
-            .collect();
+        let window: Vec<usize> = retry.iter().copied().chain(next..next + fresh).collect();
         next += fresh;
         // Phase 1: reserve (parallel).
         let wants: Vec<bool> = tabulate(window.len(), |k| step.reserve(window[k]));

@@ -59,8 +59,7 @@ pub fn synthetic_dataset(n: usize, dims: usize, num_classes: usize, seed: u64) -
         let class = ((a as usize) * 4 + (b as usize) * 2 + c as usize) % num_classes;
         // 10% label noise.
         if r.ith_rand(0xAB00 + i as u64).is_multiple_of(10) {
-            ((class + 1 + (r.ith_rand(i as u64) as usize % (num_classes - 1))) % num_classes)
-                as u8
+            ((class + 1 + (r.ith_rand(i as u64) as usize % (num_classes - 1))) % num_classes) as u8
         } else {
             class as u8
         }
@@ -224,8 +223,14 @@ fn build(data: &Dataset, idx: Vec<u32>, depth: usize, parallel: bool) -> Tree {
         )
     } else {
         (
-            idx.iter().copied().filter(|&i| col[i as usize] < threshold).collect(),
-            idx.iter().copied().filter(|&i| col[i as usize] >= threshold).collect(),
+            idx.iter()
+                .copied()
+                .filter(|&i| col[i as usize] < threshold)
+                .collect(),
+            idx.iter()
+                .copied()
+                .filter(|&i| col[i as usize] >= threshold)
+                .collect(),
         )
     };
     if left_idx.is_empty() || right_idx.is_empty() {

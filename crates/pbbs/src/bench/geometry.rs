@@ -117,16 +117,14 @@ pub fn convex_hull_seq(pts: &[Point2]) -> Vec<u32> {
     };
     let mut lower: Vec<u32> = Vec::new();
     for &p in &order {
-        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0
-        {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0 {
             lower.pop();
         }
         lower.push(p);
     }
     let mut upper: Vec<u32> = Vec::new();
     for &p in order.iter().rev() {
-        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0
-        {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0 {
             upper.pop();
         }
         upper.push(p);
@@ -306,9 +304,7 @@ impl KdTree {
 /// other point (1-NN), via a parallel-built k-d tree and parallel queries.
 pub fn all_nearest_neighbors(pts: &[Point2]) -> Vec<u32> {
     let tree = KdTree::build(pts);
-    tabulate(pts.len(), |q| {
-        tree.nearest_excluding(q).unwrap_or(u32::MAX)
-    })
+    tabulate(pts.len(), |q| tree.nearest_excluding(q).unwrap_or(u32::MAX))
 }
 
 /// Brute-force 1-NN reference.
@@ -387,10 +383,7 @@ mod tests {
             // Allow distance ties to resolve differently.
             let df = pts[fast[q] as usize].dist2(&pts[q]);
             let ds = pts[slow[q] as usize].dist2(&pts[q]);
-            assert!(
-                (df - ds).abs() < 1e-12,
-                "query {q}: kd {df} vs brute {ds}"
-            );
+            assert!((df - ds).abs() < 1e-12, "query {q}: kd {df} vs brute {ds}");
         }
     }
 

@@ -31,12 +31,7 @@ pub fn bfs(g: &Graph, src: u32) -> Vec<u32> {
             for &u in g.neighbors(v) {
                 if dist[u as usize].load(Ordering::Relaxed) == UNREACHED
                     && dist[u as usize]
-                        .compare_exchange(
-                            UNREACHED,
-                            level,
-                            Ordering::Relaxed,
-                            Ordering::Relaxed,
-                        )
+                        .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
                         .is_ok()
                 {
                     out.push(u);
@@ -304,10 +299,9 @@ impl ReserveCommit for ForestStep<'_> {
         let packed = self.hooks[i].load(Ordering::Relaxed);
         let r_small = (packed >> 32) as u32;
         let r_large = packed as u32;
-        let held_small =
-            self.reservation[r_small as usize].load(Ordering::Acquire) == i;
-        let held_large = self.require_both
-            && self.reservation[r_large as usize].load(Ordering::Acquire) == i;
+        let held_small = self.reservation[r_small as usize].load(Ordering::Acquire) == i;
+        let held_large =
+            self.require_both && self.reservation[r_large as usize].load(Ordering::Acquire) == i;
         // Release reservations unconditionally (PBBS-style): whether we
         // link, retry, or turn out moot, the cells must be freed, or later
         // edges livelock on a stale minimum index.
@@ -337,7 +331,11 @@ impl ReserveCommit for ForestStep<'_> {
                 // paths logarithmic under arbitrary processing orders.
                 let rs = self.rank[small as usize].load(Ordering::Relaxed);
                 let rl = self.rank[large as usize].load(Ordering::Relaxed);
-                let (child, parent) = if rs < rl { (small, large) } else { (large, small) };
+                let (child, parent) = if rs < rl {
+                    (small, large)
+                } else {
+                    (large, small)
+                };
                 if rs == rl {
                     self.rank[parent as usize].store(rl + 1, Ordering::Relaxed);
                 }

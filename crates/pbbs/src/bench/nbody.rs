@@ -148,7 +148,11 @@ pub fn nbody_forces(pts: &[Point3]) -> Vec<Point3> {
         lo = Point3::new(lo.x.min(p.x), lo.y.min(p.y), lo.z.min(p.z));
         hi = Point3::new(hi.x.max(p.x), hi.y.max(p.y), hi.z.max(p.z));
     }
-    let center = Point3::new((lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0, (lo.z + hi.z) / 2.0);
+    let center = Point3::new(
+        (lo.x + hi.x) / 2.0,
+        (lo.y + hi.y) / 2.0,
+        (lo.z + hi.z) / 2.0,
+    );
     let half = ((hi.x - lo.x).max(hi.y - lo.y).max(hi.z - lo.z) / 2.0).max(1e-12) * 1.0001;
     let root = Cell::build(pts, (0..pts.len() as u32).collect(), center, half, 0);
     tabulate(pts.len(), |q| {
@@ -213,7 +217,9 @@ mod tests {
         let pts = points_plummer_3d(2_000, 2);
         let f = nbody_forces(&pts);
         assert_eq!(f.len(), pts.len());
-        assert!(f.iter().all(|p| p.x.is_finite() && p.y.is_finite() && p.z.is_finite()));
+        assert!(f
+            .iter()
+            .all(|p| p.x.is_finite() && p.y.is_finite() && p.z.is_finite()));
     }
 
     #[test]

@@ -158,10 +158,7 @@ mod tests {
         assert!(len >= 4, "random DNA of 2k certainly repeats 4-mers");
         // The reported substring must indeed appear twice.
         let needle = &text[start as usize..(start + len) as usize];
-        let occurrences = text
-            .windows(needle.len())
-            .filter(|w| *w == needle)
-            .count();
+        let occurrences = text.windows(needle.len()).filter(|w| *w == needle).count();
         assert!(occurrences >= 2, "substring must repeat: {occurrences}");
     }
 }

@@ -125,11 +125,7 @@ pub fn points_plummer_3d(n: usize, seed: u64) -> Vec<Point3> {
         let z = 2.0 * r.ith_f64(3 * i as u64 + 1) - 1.0;
         let theta = r.ith_f64(3 * i as u64 + 2) * std::f64::consts::TAU;
         let xy = (1.0 - z * z).sqrt();
-        Point3::new(
-            rad * xy * theta.cos(),
-            rad * xy * theta.sin(),
-            rad * z,
-        )
+        Point3::new(rad * xy * theta.cos(), rad * xy * theta.sin(), rad * z)
     })
 }
 
@@ -169,7 +165,10 @@ mod tests {
             .iter()
             .filter(|p| p.dist2(&Point2::new(0.0, 0.0)) < 4.0)
             .count();
-        assert!(central > pts.len() / 2, "kuzmin mass should sit near origin");
+        assert!(
+            central > pts.len() / 2,
+            "kuzmin mass should sit near origin"
+        );
     }
 
     #[test]

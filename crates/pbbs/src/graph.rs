@@ -25,8 +25,7 @@ impl Graph {
             |&(u, v)| u != v && (u as usize) < n && (v as usize) < n,
         );
         // Dedup by sorting on the packed key.
-        let mut packed: Vec<u64> =
-            parlay_rs::map(&canon, |&(u, v)| ((u as u64) << 32) | v as u64);
+        let mut packed: Vec<u64> = parlay_rs::map(&canon, |&(u, v)| ((u as u64) << 32) | v as u64);
         parlay_rs::integer_sort(&mut packed);
         let keep: Vec<bool> = tabulate(packed.len(), |i| i == 0 || packed[i] != packed[i - 1]);
         let idx = parlay_rs::pack_index(&keep);

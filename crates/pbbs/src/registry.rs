@@ -160,7 +160,11 @@ impl Prepared for CmpSortStrings {
         let elapsed = t.elapsed();
         RunOutcome {
             elapsed,
-            checksum: checksum_u64s(v.iter().map(|s| parlay_rs::random::hash64(s.len() as u64 ^ s.bytes().fold(0u64, |a, b| a.rotate_left(7) ^ b as u64)))),
+            checksum: checksum_u64s(v.iter().map(|s| {
+                parlay_rs::random::hash64(
+                    s.len() as u64 ^ s.bytes().fold(0u64, |a, b| a.rotate_left(7) ^ b as u64),
+                )
+            })),
         }
     }
     fn verify(&self) -> Result<(), String> {
@@ -391,7 +395,9 @@ impl Prepared for Msf {
         if total == expected {
             Ok(())
         } else {
-            Err(format!("MSF weight {total} != sequential Kruskal {expected}"))
+            Err(format!(
+                "MSF weight {total} != sequential Kruskal {expected}"
+            ))
         }
     }
 }
@@ -477,7 +483,9 @@ impl Prepared for Nbody {
         let elapsed = t.elapsed();
         RunOutcome {
             elapsed,
-            checksum: checksum_u64s(f.iter().map(|p| p.x.to_bits() ^ p.y.to_bits().rotate_left(21) ^ p.z.to_bits().rotate_left(42))),
+            checksum: checksum_u64s(f.iter().map(|p| {
+                p.x.to_bits() ^ p.y.to_bits().rotate_left(21) ^ p.z.to_bits().rotate_left(42)
+            })),
         }
     }
     fn verify(&self) -> Result<(), String> {
@@ -507,9 +515,7 @@ impl Prepared for Classify {
         let elapsed = t.elapsed();
         RunOutcome {
             elapsed,
-            checksum: checksum_u64s(
-                (0..self.0.len()).map(|i| tree.predict(&self.0, i) as u64),
-            ),
+            checksum: checksum_u64s((0..self.0.len()).map(|i| tree.predict(&self.0, i) as u64)),
         }
     }
     fn verify(&self) -> Result<(), String> {

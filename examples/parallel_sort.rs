@@ -19,11 +19,17 @@ fn time_sort<T, F: FnOnce() -> T>(label: &str, f: F) -> T {
 fn main() {
     let n = 400_000;
     let pool: ThreadPool = PoolBuilder::new(Variant::Signal).threads(4).build();
-    println!("sorting {n} elements on {} workers (signal-LCWS):", pool.num_workers());
+    println!(
+        "sorting {n} elements on {} workers (signal-LCWS):",
+        pool.num_workers()
+    );
 
     // Integer sort on the PBBS integer families.
     for (name, mut data) in [
-        ("integerSort/randomSeq_int", seqs::random_seq(n, u64::MAX, 1)),
+        (
+            "integerSort/randomSeq_int",
+            seqs::random_seq(n, u64::MAX, 1),
+        ),
         ("integerSort/exptSeq_int", seqs::expt_seq(n, 1 << 30, 2)),
         ("integerSort/almostSortedSeq", seqs::almost_sorted_seq(n, 3)),
     ] {

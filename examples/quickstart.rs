@@ -11,7 +11,10 @@ fn main() {
     //    contribution: split deques + SIGUSR1 work-exposure requests
     //    handled in constant time.
     let pool = PoolBuilder::new(Variant::Signal).threads(4).build();
-    println!("pool: {:?} workers under the `signal` scheduler", pool.num_workers());
+    println!(
+        "pool: {:?} workers under the `signal` scheduler",
+        pool.num_workers()
+    );
 
     // 2. Fork-join parallelism: same API shape as rayon::join.
     let (sum_a, sum_b) = pool.run(|| {
@@ -41,17 +44,27 @@ fn main() {
     // 5. Every run exposes its synchronization profile — the quantity the
     //    paper's evaluation is about. Compare against the classic WS
     //    scheduler on the same computation:
-    let work = |n: u64| move || {
-        par_for(0..n as usize, |i| {
-            std::hint::black_box(i * i);
-        })
+    let work = |n: u64| {
+        move || {
+            par_for(0..n as usize, |i| {
+                std::hint::black_box(i * i);
+            })
+        }
     };
     let (_, lcws_profile) = pool.run_measured(work(500_000));
     let ws_pool = PoolBuilder::new(Variant::Ws).threads(4).build();
     let (_, ws_profile) = ws_pool.run_measured(work(500_000));
     println!("\nsynchronization profile (same computation):");
-    println!("  signal-LCWS: fences={:<8} cas={:<8}", lcws_profile.fences(), lcws_profile.cas());
-    println!("  classic WS : fences={:<8} cas={:<8}", ws_profile.fences(), ws_profile.cas());
+    println!(
+        "  signal-LCWS: fences={:<8} cas={:<8}",
+        lcws_profile.fences(),
+        lcws_profile.cas()
+    );
+    println!(
+        "  classic WS : fences={:<8} cas={:<8}",
+        ws_profile.fences(),
+        ws_profile.cas()
+    );
     println!(
         "  LCWS uses {:.2}% of WS's memory fences",
         100.0 * lcws_profile.fences() as f64 / ws_profile.fences().max(1) as f64

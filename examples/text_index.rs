@@ -43,7 +43,10 @@ fn main() {
     );
     // Query the index: documents containing the most common term.
     if let Some((term, ds)) = index.iter().max_by_key(|(_, d)| d.len()) {
-        println!("  most widespread term {term:?} appears in {} documents", ds.len());
+        println!(
+            "  most widespread term {term:?} appears in {} documents",
+            ds.len()
+        );
     }
 
     // --- suffix array & longest repeated substring ------------------------

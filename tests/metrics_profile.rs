@@ -51,7 +51,11 @@ fn ws_never_exposes_or_signals() {
 #[test]
 fn uslcws_never_signals() {
     let us = profile(Variant::UsLcws, 4);
-    assert_eq!(us.signals_sent(), 0, "user-space variant must not use signals");
+    assert_eq!(
+        us.signals_sent(),
+        0,
+        "user-space variant must not use signals"
+    );
 }
 
 #[test]
@@ -73,7 +77,11 @@ fn single_worker_lcws_runs_nearly_synchronization_free() {
     // P = 1 nothing is ever stolen, so an LCWS scheduler should execute
     // (almost) no fences and no CAS at all, while WS still pays per-op.
     let us = profile(Variant::UsLcws, 1);
-    assert_eq!(us.fences(), 0, "no thieves → no public pops → no fences: {us}");
+    assert_eq!(
+        us.fences(),
+        0,
+        "no thieves → no public pops → no fences: {us}"
+    );
     assert_eq!(us.cas(), 0, "{us}");
     let ws = profile(Variant::Ws, 1);
     assert!(ws.fences() > 1_000, "WS pays fences even alone: {ws}");

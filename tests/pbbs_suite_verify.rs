@@ -24,7 +24,9 @@ fn every_instance_verifies_under_signal_lcws() {
 #[test]
 fn every_instance_verifies_under_conservative_exposure() {
     std::env::set_var("LCWS_SCALE", "0.005");
-    let pool = PoolBuilder::new(Variant::SignalConservative).threads(2).build();
+    let pool = PoolBuilder::new(Variant::SignalConservative)
+        .threads(2)
+        .build();
     for inst in all_instances() {
         let prepared = inst.prepare();
         let result = pool.run(|| prepared.verify());

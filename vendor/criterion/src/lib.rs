@@ -1,0 +1,351 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, throughput annotation, and the `criterion_group!` /
+//! `criterion_main!` macros — on top of a plain wall-clock measurement
+//! loop.
+//!
+//! Statistics are deliberately simple: per sample we time a batch of
+//! iterations sized so one batch takes ≳1ms (amortizing timer overhead),
+//! collect `sample_size` samples, and report min / median / mean ns per
+//! iteration. There is no warm-up analysis, outlier classification, or
+//! HTML report — results print to stdout in a `cargo bench`-like format.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Elements- or bytes-per-iteration annotation; used to print a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost across a measured batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup runs before every routine call; batches of one.
+    PerIteration,
+    /// Small inputs: large batches per setup.
+    SmallInput,
+    /// Large inputs: modest batches per setup.
+    LargeInput,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> u64 {
+        match self {
+            BatchSize::PerIteration => 1,
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+        }
+    }
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    #[doc(hidden)]
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; drives the measurement loop.
+pub struct Bencher {
+    /// Iterations the harness asks this sample to run.
+    iters: u64,
+    /// Measured time for those iterations (set by `iter*`).
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` run `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measure `routine` with fresh input from `setup` each batch; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = size.batch_len();
+        let mut remaining = self.iters;
+        let mut elapsed = Duration::ZERO;
+        while remaining > 0 {
+            let n = remaining.min(batch);
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            elapsed += start.elapsed();
+            remaining -= n;
+        }
+        self.elapsed = elapsed;
+    }
+
+    /// Like `iter_batched`, with the input passed by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size);
+    }
+}
+
+struct Settings {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+/// One benchmark's collected samples, as ns/iter.
+fn run_samples<F: FnMut(&mut Bencher)>(settings: &Settings, f: &mut F) -> Vec<f64> {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // takes ≥1ms (or the count reaches 2^20), so timer noise is amortized.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= (1 << 20) {
+            break;
+        }
+        iters *= 2;
+    }
+    (0..settings.sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect()
+}
+
+fn report(id: &str, settings: &Settings, samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let rate = match settings.throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 / median * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.3} MiB/s)",
+                n as f64 / median * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        None => String::new(),
+    };
+    println!("{id:<60} min {min:>12.1} ns  median {median:>12.1} ns  mean {mean:>12.1} ns{rate}");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    /// Time `f` under `id`.
+    pub fn bench_function<N, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        N: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut samples = run_samples(&self.settings, &mut f);
+        report(&full, &self.settings, &mut samples);
+        self
+    }
+
+    /// Time `f` under `id`, passing `input` through.
+    pub fn bench_with_input<N, I, F>(&mut self, id: N, input: &I, mut f: F) -> &mut Self
+    where
+        N: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the default samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Upstream parses CLI filters here; the shim runs everything.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name} --");
+        BenchmarkGroup {
+            name,
+            settings: Settings {
+                sample_size: self.sample_size,
+                throughput: None,
+            },
+            _criterion: self,
+        }
+    }
+
+    /// Time `f` under `id` outside any group.
+    pub fn bench_function<N, F>(&mut self, id: N, mut f: F) -> &mut Criterion
+    where
+        N: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let settings = Settings {
+            sample_size: self.sample_size,
+            throughput: None,
+        };
+        let mut samples = run_samples(&settings, &mut f);
+        report(&id.into_id(), &settings, &mut samples);
+        self
+    }
+}
+
+/// Declare a benchmark group: either `criterion_group!(name, targets...)`
+/// or the braced form with an explicit `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_self_test");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        trivial(&mut c);
+        c.bench_function("top_level", |b| b.iter(|| black_box(3u32).pow(2)));
+    }
+}

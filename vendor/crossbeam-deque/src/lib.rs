@@ -1,0 +1,246 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Implements the [`Worker`]/[`Stealer`] API subset the benchmarks use as
+//! their industry-baseline comparison point. The algorithm is the classic
+//! Chase–Lev deque with the fence placement of Lê et al. ("Correct and
+//! Efficient Work-Stealing for Weak Memory Models", PPoPP '13) — the same
+//! algorithm upstream crossbeam-deque implements — so the owner-path cost
+//! the `deque_ops` benchmark measures (one SeqCst fence per pop) is
+//! representative of the real crate.
+//!
+//! Differences from upstream: the buffer is fixed-capacity (upstream grows
+//! it); pushing beyond [`DEFAULT_CAPACITY`] panics. The workspace only uses
+//! this deque in single-kilobyte microbenchmarks.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, Ordering};
+use std::sync::Arc;
+
+/// Fixed slot count of the shim deque.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// Lost a race; try again.
+    Retry,
+}
+
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Owner's bottom index (next push slot).
+    bottom: AtomicIsize,
+    /// Thieves' top index (next steal slot).
+    top: AtomicIsize,
+}
+
+unsafe impl<T: Send> Send for Buffer<T> {}
+unsafe impl<T: Send> Sync for Buffer<T> {}
+
+impl<T> Buffer<T> {
+    #[inline]
+    fn slot(&self, index: isize) -> *mut MaybeUninit<T> {
+        self.slots[index as usize & (self.slots.len() - 1)].get()
+    }
+}
+
+/// The owner's handle: LIFO push/pop at the bottom.
+pub struct Worker<T> {
+    buf: Arc<Buffer<T>>,
+}
+
+/// A thief's handle: FIFO steals from the top.
+pub struct Stealer<T> {
+    buf: Arc<Buffer<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            buf: Arc::clone(&self.buf),
+        }
+    }
+}
+
+impl<T> Worker<T> {
+    /// New deque whose owner operates in LIFO order (the work-stealing
+    /// default).
+    pub fn new_lifo() -> Worker<T> {
+        let slots = (0..DEFAULT_CAPACITY)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Worker {
+            buf: Arc::new(Buffer {
+                slots,
+                bottom: AtomicIsize::new(0),
+                top: AtomicIsize::new(0),
+            }),
+        }
+    }
+
+    /// A stealer handle sharing this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            buf: Arc::clone(&self.buf),
+        }
+    }
+
+    /// Is the deque observably empty?
+    pub fn is_empty(&self) -> bool {
+        let b = self.buf.bottom.load(Ordering::Relaxed);
+        let t = self.buf.top.load(Ordering::Relaxed);
+        b <= t
+    }
+
+    /// Owner: push at the bottom.
+    pub fn push(&self, value: T) {
+        let b = self.buf.bottom.load(Ordering::Relaxed);
+        let t = self.buf.top.load(Ordering::Acquire);
+        assert!(
+            (b - t) < self.buf.slots.len() as isize,
+            "crossbeam-deque shim: fixed capacity {} exceeded",
+            self.buf.slots.len()
+        );
+        unsafe { (*self.buf.slot(b)).write(value) };
+        self.buf.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner: pop from the bottom (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        let b = self.buf.bottom.load(Ordering::Relaxed) - 1;
+        self.buf.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.buf.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            self.buf.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let value = unsafe { (*self.buf.slot(b)).assume_init_read() };
+        if t == b {
+            // Last element: race thieves for it.
+            let won = self
+                .buf
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.buf.bottom.store(b + 1, Ordering::Relaxed);
+            if !won {
+                std::mem::forget(value);
+                return None;
+            }
+        }
+        Some(value)
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Thief: steal from the top (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.buf.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.buf.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let value = unsafe { (*self.buf.slot(t)).assume_init_read() };
+        if self
+            .buf
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(value)
+        } else {
+            std::mem::forget(value);
+            Steal::Retry
+        }
+    }
+}
+
+impl<T> Drop for Buffer<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point: drop the remaining initialized range.
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        for i in t..b {
+            unsafe { (*self.slot(i)).assume_init_drop() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn concurrent_no_loss_no_duplication() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const N: usize = 10_000;
+        let w = Worker::new_lifo();
+        let taken = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let s = w.stealer();
+                let taken = &taken;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => {
+                                if v == usize::MAX {
+                                    break;
+                                }
+                                local.push(v);
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => std::hint::spin_loop(),
+                        }
+                    }
+                    taken.lock().unwrap().extend(local);
+                });
+            }
+            let mut local = Vec::new();
+            for i in 0..N {
+                w.push(i);
+                if i % 2 == 0 {
+                    if let Some(v) = w.pop() {
+                        local.push(v);
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                local.push(v);
+            }
+            // Poison pills to stop the thieves.
+            for _ in 0..3 {
+                w.push(usize::MAX);
+            }
+            taken.lock().unwrap().extend(local);
+        });
+        let all = taken.into_inner().unwrap();
+        let set: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "duplicated element");
+        assert_eq!(set.len(), N, "lost element");
+    }
+}

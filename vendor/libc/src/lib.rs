@@ -1,0 +1,47 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *exact* subset of libc it uses: POSIX signal
+//! installation (`sigaction`) and per-thread signal delivery
+//! (`pthread_self` / `pthread_kill`), which the signal-based LCWS
+//! schedulers are built on. The declarations below bind directly to the
+//! system C library and use the glibc x86_64/aarch64 Linux ABI layouts.
+//!
+//! Only Linux is supported — exactly like the upstream paper artifact,
+//! which also relies on Linux signal semantics (see DESIGN.md §2).
+
+#![allow(non_camel_case_types)]
+#![no_std]
+
+pub type c_int = i32;
+pub type c_ulong = u64;
+pub type pthread_t = c_ulong;
+
+/// glibc `sigset_t`: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    pub __val: [c_ulong; 16],
+}
+
+/// glibc `struct sigaction` (Linux, non-MIPS layout): handler word first,
+/// then the mask, flags, and the legacy restorer pointer.
+#[repr(C)]
+pub struct sigaction {
+    pub sa_sigaction: usize,
+    pub sa_mask: sigset_t,
+    pub sa_flags: c_int,
+    pub sa_restorer: Option<unsafe extern "C" fn()>,
+}
+
+/// Restart interruptible syscalls instead of failing them with `EINTR`.
+pub const SA_RESTART: c_int = 0x1000_0000;
+/// User-defined signal 1 (Linux, non-MIPS/non-SPARC value).
+pub const SIGUSR1: c_int = 10;
+
+extern "C" {
+    pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn pthread_self() -> pthread_t;
+    pub fn pthread_kill(thread: pthread_t, sig: c_int) -> c_int;
+}
