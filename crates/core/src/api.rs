@@ -167,15 +167,15 @@ impl<'scope> Scope<'scope> {
             }
             sc.pending.fetch_sub(1, Ordering::AcqRel);
         });
-        // A failed push (deque overflow) must not leave `pending` raised or
-        // the enclosing scope would wait forever. The unpushed job box is
-        // leaked — acceptable on this error path, where the process is
-        // already unwinding from a configuration bug.
-        if let Err(payload) =
-            panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*ctx).push_job(job) }))
-        {
-            self.pending.fetch_sub(1, Ordering::AcqRel);
-            panic::resume_unwind(payload);
+        // Deque overflow degrades gracefully: spawn semantics allow the
+        // task to run any time before the scope closes, so "immediately,
+        // inline on the spawner" is always a valid schedule. The job's own
+        // closure performs the panic bookkeeping and `pending` decrement,
+        // and the heap job frees itself — nothing leaks, nothing aborts.
+        if unsafe { (*ctx).try_push_job(job) }.is_err() {
+            metrics::bump(Counter::OverflowInline);
+            // Safety: the failed push left us sole owner of the job.
+            unsafe { (*ctx).execute(job) };
         }
     }
 

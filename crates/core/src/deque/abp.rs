@@ -17,7 +17,8 @@ use crossbeam_utils::CachePadded;
 use lcws_metrics as metrics;
 
 use crate::age::AtomicAge;
-use crate::deque::Steal;
+use crate::deque::{DequeFull, Steal};
+use crate::fault::{self, Site};
 use crate::job::Job;
 
 /// Bounded ABP deque: `age = {tag, top}` at the top, `bot` at the bottom.
@@ -49,25 +50,37 @@ impl AbpDeque {
         self.slots.len()
     }
 
-    /// Owner: push at the bottom. Publishes with a seq-cst fence so
-    /// concurrent thieves observe the slot before the new `bot`.
+    /// Owner: push at the bottom, failing (with the deque untouched) when
+    /// no free slot exists. Publishes with a seq-cst fence so concurrent
+    /// thieves observe the slot before the new `bot`.
     #[inline]
-    pub fn push_bottom(&self, task: *mut Job) {
+    pub fn try_push_bottom(&self, task: *mut Job) -> Result<(), DequeFull> {
         let b = self.bot.load(Ordering::Relaxed);
-        assert!(
-            (b as usize) < self.slots.len(),
-            "ABP deque overflow (capacity {}); raise PoolBuilder::deque_capacity",
-            self.slots.len()
-        );
+        if (b as usize) >= self.slots.len() || fault::fail_at(Site::PushBottom) {
+            return Err(DequeFull);
+        }
         self.slots[b as usize].store(task, Ordering::Release);
         self.bot.store(b + 1, Ordering::Release);
         metrics::fence_seq_cst();
         metrics::bump(metrics::Counter::Push);
+        Ok(())
+    }
+
+    /// Owner: push at the bottom, panicking if the deque is full. The
+    /// scheduler goes through [`AbpDeque::try_push_bottom`] instead.
+    #[inline]
+    pub fn push_bottom(&self, task: *mut Job) {
+        assert!(
+            self.try_push_bottom(task).is_ok(),
+            "ABP deque overflow (capacity {}); raise PoolBuilder::deque_capacity",
+            self.slots.len()
+        );
     }
 
     /// Owner: pop from the bottom. Always pays a seq-cst fence; pays a CAS
     /// too when racing thieves for the last task.
     pub fn pop_bottom(&self) -> Option<*mut Job> {
+        fault::point(Site::PopBottom);
         let b = self.bot.load(Ordering::Relaxed);
         if b == 0 {
             return None;
@@ -103,6 +116,7 @@ impl AbpDeque {
 
     /// Thief: steal the top-most task.
     pub fn pop_top(&self) -> Steal {
+        fault::point(Site::PopTop);
         metrics::bump(metrics::Counter::StealAttempt);
         let old_age = self.age.load(Ordering::Acquire);
         let b = self.bot.load(Ordering::Acquire);

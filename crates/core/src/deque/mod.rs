@@ -18,6 +18,21 @@ pub use split::{double2int, ExposurePolicy, PopBottomMode, SplitDeque};
 
 use crate::job::Job;
 
+/// Error of a fallible bottom push: the deque has no free slot (or the
+/// `faultpoints` layer forced the overflow outcome). The task was **not**
+/// enqueued; the caller still owns it and is expected to degrade gracefully
+/// (the scheduler runs it inline on the owner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DequeFull;
+
+impl std::fmt::Display for DequeFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("deque is full")
+    }
+}
+
+impl std::error::Error for DequeFull {}
+
 /// Outcome of a thief's `pop_top` attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Steal {

@@ -46,7 +46,8 @@ use lcws_metrics as metrics;
 #[cfg(test)]
 use crate::age::Age;
 use crate::age::AtomicAge;
-use crate::deque::Steal;
+use crate::deque::{DequeFull, Steal};
+use crate::fault::{self, Site};
 use crate::job::Job;
 
 /// How the owner's `pop_bottom` guards against concurrent exposure from a
@@ -138,18 +139,33 @@ impl SplitDeque {
     /// Owner: push a task at the bottom. Synchronization-free (Listing 2
     /// line 5): one plain store of the slot, one plain store of `bot`.
     ///
-    /// Panics if the deque is full.
+    /// Returns [`DequeFull`] (leaving the deque untouched and the task with
+    /// the caller) when no free slot exists — the scheduler degrades to
+    /// running the task inline instead of aborting.
     #[inline]
-    pub fn push_bottom(&self, task: *mut Job) {
+    pub fn try_push_bottom(&self, task: *mut Job) -> Result<(), DequeFull> {
         let b = self.bot.load(Ordering::Relaxed);
-        assert!(
-            (b as usize) < self.slots.len(),
-            "split deque overflow (capacity {}); raise PoolBuilder::deque_capacity",
-            self.slots.len()
-        );
+        if (b as usize) >= self.slots.len() || fault::fail_at(Site::PushBottom) {
+            return Err(DequeFull);
+        }
         self.slots[b as usize].store(task, Ordering::Relaxed);
         self.bot.store(b + 1, Ordering::Relaxed);
         metrics::bump(metrics::Counter::Push);
+        Ok(())
+    }
+
+    /// Owner: push a task at the bottom, panicking if the deque is full.
+    ///
+    /// Direct deque users that cannot degrade should prefer a capacity
+    /// sized to their workload; the scheduler itself goes through
+    /// [`SplitDeque::try_push_bottom`].
+    #[inline]
+    pub fn push_bottom(&self, task: *mut Job) {
+        assert!(
+            self.try_push_bottom(task).is_ok(),
+            "split deque overflow (capacity {}); raise PoolBuilder::deque_capacity",
+            self.slots.len()
+        );
     }
 
     /// Owner: pop the bottom-most **private** task. Synchronization-free.
@@ -158,6 +174,7 @@ impl SplitDeque {
     /// try [`SplitDeque::pop_public_bottom`].
     #[inline]
     pub fn pop_bottom(&self, mode: PopBottomMode) -> Option<*mut Job> {
+        fault::point(Site::PopBottom);
         match mode {
             PopBottomMode::Standard => {
                 // Listing 2 line 7: `bot == public_bot ? nullptr : deq[--bot]`.
@@ -181,6 +198,9 @@ impl SplitDeque {
                 }
                 let b1 = b - 1;
                 self.bot.store(b1, Ordering::Relaxed);
+                // The §4 race window: a handler exposure landing between
+                // the decrement above and the comparison below.
+                fault::point(Site::PopBottom);
                 if b1 < self.public_bot.load(Ordering::Relaxed) {
                     // A handler exposed the task under us; it is now public
                     // and must be taken via pop_public_bottom (which also
@@ -200,6 +220,7 @@ impl SplitDeque {
     /// Pays the paper's two seq-cst fences, and a CAS when racing thieves
     /// for the last public task.
     pub fn pop_public_bottom(&self) -> Option<*mut Job> {
+        fault::point(Site::PopPublicBottom);
         let pb0 = self.public_bot.load(Ordering::Relaxed);
         if pb0 == 0 {
             // §4 modification: repair `bot` (the SignalSafe pop_bottom may
@@ -224,7 +245,9 @@ impl SplitDeque {
             return Some(task);
         }
         // At most one public task remains and thieves may be racing for it:
-        // reset the deque and fight for the task with a CAS.
+        // reset the deque and fight for the task with a CAS. A delay here
+        // (between the two fences) widens the owner-vs-thief CAS race.
+        fault::point(Site::PopPublicBottom);
         self.bot.store(0, Ordering::Relaxed);
         let new_age = old_age.reset();
         let local_bot = pb;
@@ -260,12 +283,15 @@ impl SplitDeque {
     /// semantics §3.2 specifies ("if only the public part is empty it
     /// returns PRIVATE_WORK"); we implement the specified semantics.
     pub fn pop_top(&self) -> Steal {
+        fault::point(Site::PopTop);
         metrics::bump(metrics::Counter::StealAttempt);
         let old_age = self.age.load(Ordering::Acquire);
         let pb = self.public_bot.load(Ordering::Acquire);
         if pb > old_age.top {
             let task = self.slots[old_age.top as usize].load(Ordering::Relaxed);
             let new_age = old_age.with_top_incremented();
+            // Stretch the read-age → CAS window thieves race within.
+            fault::point(Site::PopTop);
             metrics::record_cas();
             if self
                 .age
@@ -294,6 +320,8 @@ impl SplitDeque {
     /// Async-signal-safe: relaxed/release atomics and TLS counter bumps
     /// only.
     pub fn update_public_bottom(&self, policy: ExposurePolicy) -> u32 {
+        // May run in signal-handler context: spin-delay actions only.
+        fault::point(Site::UpdatePublicBottom);
         let b = self.bot.load(Ordering::Relaxed);
         let pb = self.public_bot.load(Ordering::Relaxed);
         let exposed = match policy {
@@ -565,6 +593,19 @@ mod tests {
         d.push_bottom(job(1));
         d.push_bottom(job(2));
         d.push_bottom(job(3));
+    }
+
+    #[test]
+    fn try_push_reports_full_without_losing_tasks() {
+        let d = SplitDeque::new(2);
+        assert!(d.try_push_bottom(job(1)).is_ok());
+        assert!(d.try_push_bottom(job(2)).is_ok());
+        // A rejected push leaves the deque untouched and reusable.
+        assert_eq!(d.try_push_bottom(job(3)), Err(crate::deque::DequeFull));
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(2)));
+        assert!(d.try_push_bottom(job(3)).is_ok());
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(3)));
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(1)));
     }
 
     #[test]

@@ -131,7 +131,6 @@ where
     ///
     /// # Safety
     /// Same contract as [`Job::execute`]: sole ownership, not yet executed.
-    #[allow(dead_code)]
     pub unsafe fn run_inline(&self) -> R {
         Job::execute(self.as_job_ptr());
         self.take_result()

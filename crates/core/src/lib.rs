@@ -66,6 +66,7 @@
 mod age;
 mod api;
 pub mod deque;
+pub mod fault;
 mod job;
 mod pool;
 mod signal;

@@ -43,6 +43,11 @@ pub(crate) struct WorkerShared {
     /// async-signal-safe). The owner drains it on its next deque access
     /// and performs the wake then.
     pub(crate) wake_pending: CachePadded<AtomicBool>,
+    /// Set by a thief whose `pthread_kill` notification failed: the steal
+    /// request is rerouted through this user-space flag, which the owner
+    /// polls at its task boundaries (the USLCWS path) — a failed signal
+    /// degrades exposure latency, never loses the request.
+    pub(crate) fallback_expose: CachePadded<AtomicBool>,
 }
 
 impl WorkerShared {
@@ -57,6 +62,7 @@ impl WorkerShared {
             targeted: CachePadded::new(AtomicBool::new(false)),
             pthread: AtomicU64::new(0),
             wake_pending: CachePadded::new(AtomicBool::new(false)),
+            fallback_expose: CachePadded::new(AtomicBool::new(false)),
         }
     }
 }
@@ -156,15 +162,43 @@ impl PoolBuilder {
             start_cv: Condvar::new(),
             quiesce_cv: Condvar::new(),
         });
-        let handles = (1..threads)
-            .map(|index| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("lcws-{}-{index}", self.variant.name()))
-                    .spawn(move || worker_main(inner, index))
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
+        let mut handles = Vec::with_capacity(threads.saturating_sub(1));
+        for index in 1..threads {
+            let worker_inner = Arc::clone(&inner);
+            let builder =
+                std::thread::Builder::new().name(format!("lcws-{}-{index}", self.variant.name()));
+            let spawned = if crate::fault::fail_at(crate::fault::Site::ThreadSpawn) {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "injected worker-spawn failure",
+                ))
+            } else {
+                builder.spawn(move || worker_main(worker_inner, index))
+            };
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Partial-build cleanup: the workers spawned so far are
+                    // waiting for (or racing towards) the start condvar.
+                    // Flip shutdown under the lock and join every one of
+                    // them before surfacing the error — a panic with
+                    // context is acceptable, leaked threads are not.
+                    {
+                        let _g = inner.sync.lock();
+                        inner.shutdown.store(true, Ordering::Release);
+                        inner.start_cv.notify_all();
+                    }
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    panic!(
+                        "failed to spawn worker thread {index} of {threads} \
+                         ({e}); {} already-spawned worker(s) joined cleanly",
+                        index - 1
+                    );
+                }
+            }
+        }
         // Wait until every helper registered its pthread handle, so the
         // first run can already signal any victim safely.
         while inner.ready.load(Ordering::Acquire) != threads - 1 {

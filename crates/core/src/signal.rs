@@ -30,6 +30,7 @@ use std::sync::Once;
 use lcws_metrics as metrics;
 
 use crate::deque::{ExposurePolicy, SplitDeque};
+use crate::fault::{self, Site};
 
 /// The signal used for work-exposure requests, as in the paper's Listing 3.
 pub const EXPOSE_SIGNAL: libc::c_int = libc::SIGUSR1;
@@ -57,6 +58,8 @@ thread_local! {
 }
 
 extern "C" fn expose_handler(_sig: libc::c_int) {
+    // Signal-handler context: injected actions must be spin delays only.
+    fault::point(Site::HandlerEntry);
     let ctx = HANDLER_CTX.with(|c| c.get());
     if ctx.is_null() {
         return;
@@ -106,14 +109,46 @@ pub(crate) fn current_pthread() -> libc::pthread_t {
     unsafe { libc::pthread_self() }
 }
 
+/// Extra `pthread_kill` attempts after the first before giving up and
+/// reporting failure to the caller (capped backoff: one `spin_loop` burst
+/// between attempts). Transient kernel-side refusals (EAGAIN on some
+/// platforms) are retried; a dead target (ESRCH/EINVAL) fails fast.
+const SEND_RETRIES: u32 = 2;
+
 /// Send a work-exposure request to `target` (a live pool worker's pthread
 /// handle, stored as `u64` in the pool's worker table).
-pub(crate) fn notify(target: u64) {
+///
+/// Targets are pool threads that normally outlive every run, but a victim
+/// racing with teardown can make `pthread_kill` fail (ESRCH/EINVAL). That
+/// failure is detected in release builds too, counted, and surfaced to the
+/// caller so the steal request can be rerouted through the user-space
+/// `targeted`-flag path instead of being silently dropped.
+pub(crate) fn notify(target: u64) -> Result<(), libc::c_int> {
     metrics::bump(metrics::Counter::SignalSent);
-    let rc = unsafe { libc::pthread_kill(target as libc::pthread_t, EXPOSE_SIGNAL) };
-    // The only acceptable failure is none: targets are pool threads that
-    // outlive every run, registered before the first steal can happen.
-    debug_assert_eq!(rc, 0, "pthread_kill failed: {rc}");
+    let mut rc = send_once(target);
+    let mut attempt = 0;
+    while rc == libc::EAGAIN && attempt < SEND_RETRIES {
+        for _ in 0..(64 << attempt) {
+            std::hint::spin_loop();
+        }
+        attempt += 1;
+        rc = send_once(target);
+    }
+    if rc == 0 {
+        Ok(())
+    } else {
+        metrics::bump(metrics::Counter::SignalSendFailed);
+        Err(rc)
+    }
+}
+
+/// One raw `pthread_kill` attempt, with the fault-injection hook that lets
+/// chaos tests force the failure outcome without a racing thread exit.
+fn send_once(target: u64) -> libc::c_int {
+    if fault::fail_at(Site::SignalSend) {
+        return libc::ESRCH;
+    }
+    unsafe { libc::pthread_kill(target as libc::pthread_t, EXPOSE_SIGNAL) }
 }
 
 #[cfg(test)]
@@ -175,7 +210,7 @@ mod tests {
         // Thief: request exposure and wait until the boundary moves.
         let mut tries = 0;
         while deque.public_len() == 0 {
-            notify(target);
+            notify(target).expect("live target must accept SIGUSR1");
             std::thread::sleep(std::time::Duration::from_millis(1));
             tries += 1;
             assert!(tries < 5000, "exposure request never handled");

@@ -68,6 +68,8 @@ use lcws_metrics as metrics;
 use lcws_metrics::Counter;
 use parking_lot::{Condvar, Mutex};
 
+use crate::fault::{self, Site};
+
 /// Spin-loop rounds before escalating to yields (stage 1 length).
 const SPIN_ROUNDS: u32 = 64;
 /// `yield_now` rounds before escalating to parking (stage 2 length).
@@ -201,6 +203,9 @@ impl Sleep {
         let slot = &self.slots[index];
         let (word, bit) = (index / 64, 1u64 << (index % 64));
 
+        // A delay here stretches the decide-to-sleep → announce window the
+        // eventcount protocol must tolerate.
+        fault::point(Site::SleeperPark);
         // Eventcount read: any wake that happens after this point either
         // bumps the epoch we re-validate under the lock, or sees our mask
         // bit and delivers through the slot.
@@ -209,6 +214,8 @@ impl Sleep {
         // the recheck's loads.
         self.mask[word].fetch_or(bit, Ordering::SeqCst);
 
+        // And here the announce → recheck window, against racing wakers.
+        fault::point(Site::SleeperPark);
         // Recheck: did work appear (or the run finish) while we decided to
         // sleep? Producers publish work *before* scanning the mask, so
         // missing it here means they will see our bit.
@@ -294,6 +301,9 @@ impl Sleep {
     /// Mark `index`'s slot woken and ping its condvar. Returns whether a
     /// wakeup was (newly) delivered.
     fn deliver(&self, index: usize) -> bool {
+        // A delay between choosing a sleeper and pinging its slot races the
+        // sleeper's own retire/re-park transitions.
+        fault::point(Site::SleeperUnpark);
         let slot = &self.slots[index];
         let mut woken = slot.woken.lock();
         if *woken {

@@ -80,6 +80,17 @@ impl Variant {
         )
     }
 
+    /// Does this scheduler poll the user-space `fallback_expose` flag at
+    /// task boundaries? True exactly for the signal-based variants: their
+    /// primary notification channel (`pthread_kill`) can fail against a
+    /// thread racing with teardown, and the failed request is rerouted
+    /// through the flag (USLCWS-style) instead of being dropped. USLCWS
+    /// itself already polls `targeted` and never sends signals; WS has no
+    /// exposure at all.
+    pub fn polls_fallback_flag(self) -> bool {
+        self.uses_signals()
+    }
+
     /// Which `pop_bottom` flavour the owner must use (§4's subtlety).
     pub fn pop_bottom_mode(self) -> PopBottomMode {
         match self {

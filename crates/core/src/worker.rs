@@ -10,7 +10,8 @@ use std::sync::atomic::Ordering;
 use lcws_metrics as metrics;
 use lcws_metrics::Counter;
 
-use crate::deque::Steal;
+use crate::deque::{DequeFull, Steal};
+use crate::fault::{self, Site};
 use crate::job::{Job, StackJob};
 use crate::pool::{AnyDeque, PoolInner, WorkerShared};
 use crate::signal::{self, HandlerCtx};
@@ -112,18 +113,22 @@ impl WorkerCtx {
         victim_from_random(z, num_workers, self.index)
     }
 
-    /// Push a job at the bottom of this worker's deque.
+    /// Try to push a job at the bottom of this worker's deque.
     ///
     /// For the signal variants, pushing new work re-enables notifications
     /// (§4: the `targeted` flag "is only reset to false when a task is
     /// removed from the deque's public part or the target processor pushes
     /// a new task").
-    pub(crate) fn push_job(&self, job: *mut Job) {
+    ///
+    /// On [`DequeFull`] the job was **not** enqueued and the caller still
+    /// owns it; `join` and `scope` degrade to running it inline on this
+    /// worker (counted as `OverflowInline`) instead of aborting.
+    pub(crate) fn try_push_job(&self, job: *mut Job) -> Result<(), DequeFull> {
         let w = self.shared();
         match &w.deque {
-            AnyDeque::Abp(d) => d.push_bottom(job),
+            AnyDeque::Abp(d) => d.try_push_bottom(job)?,
             AnyDeque::Split(d) => {
-                d.push_bottom(job);
+                d.try_push_bottom(job)?;
                 if self.variant().uses_signals() && w.targeted.load(Ordering::Relaxed) {
                     w.targeted.store(false, Ordering::Relaxed);
                 }
@@ -133,6 +138,7 @@ impl WorkerCtx {
         // New work is visible: give a parked thief a chance at it (or, for
         // a split deque, a chance to request its exposure).
         self.pool().sleep.wake_one();
+        Ok(())
     }
 
     /// Perform any wake the signal handler deferred to us (it only sets
@@ -164,11 +170,25 @@ impl WorkerCtx {
             AnyDeque::Abp(d) => d.pop_bottom(),
             AnyDeque::Split(d) => {
                 let variant = self.variant();
+                // Degraded-notification path: a thief whose `pthread_kill`
+                // failed left its steal request in `fallback_expose`; serve
+                // it here at task granularity, exactly like USLCWS serves
+                // `targeted` (constant-time exposure is lost only for the
+                // requests whose signal already failed).
+                if variant.polls_fallback_flag() && w.fallback_expose.load(Ordering::Relaxed) {
+                    fault::point(Site::TargetedPoll);
+                    w.fallback_expose.store(false, Ordering::Relaxed);
+                    metrics::bump(Counter::ExposureRequest);
+                    if d.update_public_bottom(variant.exposure_policy()) > 0 {
+                        self.pool().sleep.wake_one();
+                    }
+                }
                 if let Some(task) = d.pop_bottom(variant.pop_bottom_mode()) {
                     // USLCWS handles exposure requests here — at task
                     // granularity, which is exactly why it loses the
                     // constant-time-exposure guarantee (§3).
                     if variant == Variant::UsLcws && w.targeted.load(Ordering::Relaxed) {
+                        fault::point(Site::TargetedPoll);
                         w.targeted.store(false, Ordering::Relaxed);
                         metrics::bump(Counter::ExposureRequest);
                         if d.update_public_bottom(variant.exposure_policy()) > 0 {
@@ -234,17 +254,32 @@ impl WorkerCtx {
             Variant::Signal | Variant::SignalHalf => {
                 if !victim.targeted.load(Ordering::Relaxed) {
                     victim.targeted.store(true, Ordering::Relaxed);
-                    signal::notify(victim.pthread.load(Ordering::Acquire));
+                    self.signal_or_flag(victim);
                 }
             }
             // §4.1.1 adds `has_two_tasks()` to the notification condition.
             Variant::SignalConservative => {
                 if !victim.targeted.load(Ordering::Relaxed) && deque.has_two_tasks() {
                     victim.targeted.store(true, Ordering::Relaxed);
-                    signal::notify(victim.pthread.load(Ordering::Acquire));
+                    self.signal_or_flag(victim);
                 }
             }
             Variant::Ws => unreachable!("WS uses the ABP deque"),
+        }
+    }
+
+    /// Deliver a work-exposure request by signal, degrading to the
+    /// user-space `fallback_expose` flag when `pthread_kill` fails (after
+    /// its capped retry). The request is never silently dropped: the victim
+    /// polls the flag at its next task boundary.
+    fn signal_or_flag(&self, victim: &WorkerShared) {
+        if signal::notify(victim.pthread.load(Ordering::Acquire)).is_err() {
+            victim.fallback_expose.store(true, Ordering::Relaxed);
+            metrics::bump(Counter::SignalFallbackFlag);
+            // The victim may be between task boundaries for a while and
+            // other thieves are gated by `targeted`; waking a sleeper keeps
+            // someone retrying in the meantime.
+            self.pool().sleep.wake_one();
         }
     }
 
@@ -284,6 +319,12 @@ impl WorkerCtx {
 
     /// Fork-join: run `a` and `b` in parallel, `b` being made available to
     /// thieves through this worker's deque.
+    ///
+    /// When this worker's deque is full (recursion deeper than the
+    /// configured capacity), the fork degrades to sequential inline
+    /// execution on the owner — the Cilk-style fallback: the deque bounds
+    /// the *exposed* depth while the remaining recursion continues on the
+    /// owner's stack, so overflow costs parallelism, never correctness.
     pub(crate) fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
     where
         A: FnOnce() -> RA + Send,
@@ -293,7 +334,15 @@ impl WorkerCtx {
     {
         let job_b = StackJob::new(b);
         let ptr_b = job_b.as_job_ptr();
-        self.push_job(ptr_b);
+        if self.try_push_job(ptr_b).is_err() {
+            metrics::bump(Counter::OverflowInline);
+            // Nobody else ever saw `job_b`: run both closures inline with
+            // the same semantics as the out-of-pool sequential path.
+            let ra = a();
+            // Safety: sole ownership; the job was never pushed.
+            let rb = unsafe { job_b.run_inline() };
+            return (ra, rb);
+        }
         let ra = match panic::catch_unwind(AssertUnwindSafe(a)) {
             Ok(v) => v,
             Err(payload) => {

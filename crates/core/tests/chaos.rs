@@ -1,0 +1,340 @@
+//! Chaos suite: scheduler correctness under an armed `FaultPlan`
+//! (`--features faultpoints`; see `lcws_core::fault`).
+//!
+//! Every test here runs a real workload while a seeded plan perturbs or
+//! fails the synchronization-critical transitions, and then checks the
+//! *result* — the paper's correctness argument must hold under the forced
+//! interleavings, not just the lucky ones. Failures are replayable: the
+//! plan seed fully determines each site's fire pattern (EXPERIMENTS.md,
+//! "Reproducing a chaos run").
+//!
+//! Plans are process-global, so the whole suite serializes on [`CHAOS`].
+
+#![cfg(feature = "faultpoints")]
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use lcws_core::fault::{install, FaultPlan, Site, SiteAction};
+use lcws_core::{join, par_for_grain, scope, PoolBuilder, Variant};
+
+/// One plan at a time, process-wide.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // A poisoned lock just means an earlier chaos test failed; the plan
+    // guard has dropped, so later tests can still run.
+    CHAOS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `f` on a fresh big-stack thread, failing the test if it neither
+/// completes nor panics within `secs` (chaos deadlocks must not hang CI).
+fn run_with_timeout<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let t = std::thread::Builder::new()
+        .name("chaos-driver".into())
+        .stack_size(64 << 20)
+        .spawn(move || {
+            let _ = tx.send(panic::catch_unwind(AssertUnwindSafe(f)));
+        })
+        .expect("spawn chaos driver");
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(result) => {
+            t.join().expect("chaos driver thread");
+            match result {
+                Ok(v) => v,
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+        Err(_) => panic!("chaos run exceeded {secs}s — likely deadlock under the fault plan"),
+    }
+}
+
+/// Acceptance case from the fault-injection issue: with *every*
+/// `pthread_kill` forced to fail, a signal-variant pool must still finish a
+/// 2^16-task fork-join tree — each failed send reroutes through the
+/// victim's fallback-exposure flag, USLCWS-style.
+#[test]
+fn forced_signal_failure_storm_completes_via_flag_fallback() {
+    let _g = lock();
+    let guard =
+        install(FaultPlan::new(0xBAD_516).with(Site::SignalSend, SiteAction::fail_always()));
+    let (sum, m) = run_with_timeout(60, || {
+        let pool = PoolBuilder::new(Variant::Signal).threads(4).build();
+        let sum = AtomicU64::new(0);
+        let (_, m) = pool.run_measured(|| {
+            // 2^16 leaves, grain 1: maximal forking pressure, every steal
+            // needs a (failing) notification first.
+            par_for_grain(0..1 << 16, 1, |i| {
+                sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+        });
+        (sum.into_inner(), m)
+    });
+    let n = 1u64 << 16;
+    assert_eq!(
+        sum,
+        n * (n + 1) / 2,
+        "fork-join tree lost work under signal failure"
+    );
+    assert!(
+        guard.fires(Site::SignalSend) > 0,
+        "a 4-thread grain-1 run must attempt notifications"
+    );
+    // Every send failed, and every failure was rerouted, not dropped.
+    assert_eq!(m.signal_send_failed(), m.signals_sent(), "{m}");
+    assert!(
+        m.signal_fallback_flag() > 0,
+        "failures must arm the fallback flag: {m}"
+    );
+}
+
+/// Exposure storm: long delays inside the handler path (`HandlerEntry`,
+/// `UpdatePublicBottom`) and in the §4 `pop_bottom` race window stretch the
+/// owner-vs-handler interleavings the SignalSafe pop exists for.
+#[test]
+fn exposure_delay_storm_keeps_results_correct() {
+    let _g = lock();
+    for seed in [1u64, 2, 3] {
+        let guard = install(
+            FaultPlan::new(seed)
+                // Handler-context sites: spin delays only (async-signal-safe).
+                .with(Site::HandlerEntry, SiteAction::delay(300).one_in(2))
+                .with(Site::UpdatePublicBottom, SiteAction::delay(150).one_in(3))
+                .with(Site::PopBottom, SiteAction::delay(40).one_in(5)),
+        );
+        let sum = run_with_timeout(60, move || {
+            // Expose Half needs the SignalSafe pop: the widened race window
+            // is exactly what the delays aim at.
+            let pool = PoolBuilder::new(Variant::SignalHalf).threads(4).build();
+            let sum = AtomicU64::new(0);
+            pool.run(|| {
+                par_for_grain(0..40_000, 8, |i| {
+                    sum.fetch_add(i as u64, Ordering::Relaxed);
+                });
+            });
+            sum.into_inner()
+        });
+        assert_eq!(sum, (0..40_000u64).sum::<u64>(), "seed {seed}");
+        assert!(
+            guard.fires(Site::PopBottom) > 0,
+            "seed {seed}: pop delays never fired"
+        );
+    }
+}
+
+/// Steal bursts against a near-empty public part: yield storms at the
+/// thief's age-read → CAS window and delays between the owner's two
+/// seq-cst fences force the last-task CAS races of Listing 2.
+#[test]
+fn steal_bursts_on_last_task_races_stay_linearizable() {
+    use lcws_core::deque::Steal;
+    use lcws_core::{ExposurePolicy, PopBottomMode, SplitDeque};
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicBool;
+
+    let _g = lock();
+    let guard = install(
+        FaultPlan::new(0xCA5)
+            .with(Site::PopTop, SiteAction::yield_storm(1).one_in(2))
+            .with(Site::PopPublicBottom, SiteAction::delay(60).one_in(2))
+            .with(Site::PopBottom, SiteAction::yield_storm(1).one_in(4)),
+    );
+    const N: usize = 1500;
+    run_with_timeout(60, || {
+        let d = SplitDeque::new(N + 1);
+        let taken = Mutex::new(Vec::<usize>::new());
+        let done = AtomicBool::new(false);
+        let cookie = |v: usize| (v + 1) as *mut lcws_core::Job;
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        if let Steal::Ok(j) = d.pop_top() {
+                            local.push(j as usize);
+                        }
+                    }
+                    loop {
+                        match d.pop_top() {
+                            Steal::Ok(j) => local.push(j as usize),
+                            Steal::Abort => continue,
+                            _ => break,
+                        }
+                    }
+                    taken.lock().unwrap().extend(local);
+                });
+            }
+            // Owner: keep the public part starved (expose rarely, pop
+            // often) so steals keep hitting the last-task path.
+            let mut local = Vec::new();
+            for i in 1..=N {
+                d.push_bottom(cookie(i - 1));
+                if i % 2 == 0 {
+                    d.update_public_bottom(ExposurePolicy::One);
+                }
+                if i % 3 == 0 {
+                    if let Some(j) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                        local.push(j as usize);
+                    } else if let Some(j) = d.pop_public_bottom() {
+                        local.push(j as usize);
+                    }
+                }
+            }
+            loop {
+                if let Some(j) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                    local.push(j as usize);
+                } else if let Some(j) = d.pop_public_bottom() {
+                    local.push(j as usize);
+                } else {
+                    break;
+                }
+            }
+            done.store(true, Ordering::Release);
+            taken.lock().unwrap().extend(local);
+        });
+        let all = taken.into_inner().unwrap();
+        let set: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "a task ran twice under chaos");
+        assert_eq!(set.len(), N, "a task was lost under chaos");
+    });
+    assert!(guard.fires(Site::PopTop) > 0);
+}
+
+/// Park/unpark races: delays right before a sleeper announces itself and
+/// yield storms inside wake delivery stress the announce-then-sleep window
+/// the eventcount protocol closes.
+#[test]
+fn park_unpark_races_never_strand_a_run() {
+    let _g = lock();
+    let guard = install(
+        FaultPlan::new(0x5EE9)
+            .with(Site::SleeperPark, SiteAction::delay(400).one_in(2))
+            .with(Site::SleeperUnpark, SiteAction::yield_storm(2).one_in(2)),
+    );
+    run_with_timeout(60, || {
+        let pool = PoolBuilder::new(Variant::UsLcws).threads(4).build();
+        // Each round forks work (waking parked helpers through the
+        // perturbed deliver path), then starves the helpers long enough
+        // for the idle backoff (64 spins + 16 yields) to park them again.
+        for round in 0..30u64 {
+            let sum = AtomicU64::new(0);
+            pool.run(|| {
+                par_for_grain(0..256, 4, |i| {
+                    sum.fetch_add(i as u64, Ordering::Relaxed);
+                });
+                std::thread::sleep(Duration::from_millis(2));
+            });
+            assert_eq!(sum.into_inner(), (0..256u64).sum::<u64>(), "round {round}");
+        }
+    });
+    assert!(
+        guard.hits(Site::SleeperPark) > 0,
+        "rounds must park workers"
+    );
+}
+
+/// Overflow pressure without tiny deques: forced `push_bottom` failures
+/// make roughly one join in three degrade to inline execution; results and
+/// the `overflow_inline` counter must both show it.
+#[test]
+fn forced_push_failures_degrade_to_inline_joins() {
+    let _g = lock();
+    let guard = install(
+        FaultPlan::new(0x0F107).with(Site::PushBottom, SiteAction::fail_always().one_in(3)),
+    );
+    let (sum, m, ran) = run_with_timeout(60, || {
+        let pool = PoolBuilder::new(Variant::Signal).threads(4).build();
+        let sum = AtomicU64::new(0);
+        let ran = AtomicU64::new(0);
+        let (_, m) = pool.run_measured(|| {
+            par_for_grain(0..20_000, 16, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            // Scope spawns exercise the second overflow path.
+            scope(|s| {
+                for _ in 0..200 {
+                    let ran = &ran;
+                    s.spawn(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        (sum.into_inner(), m, ran.into_inner())
+    });
+    assert_eq!(sum, (0..20_000u64).sum::<u64>());
+    assert_eq!(ran, 200, "every scope task runs despite rejected pushes");
+    assert!(guard.fires(Site::PushBottom) > 0);
+    assert!(
+        m.overflow_inline() > 0,
+        "rejected pushes must be counted: {m}"
+    );
+}
+
+/// A forced spawn failure mid-build must tear the partial pool down (every
+/// already-spawned worker joined) and leave the process able to build a
+/// fresh pool once the plan is gone.
+#[test]
+fn spawn_failure_mid_build_tears_down_and_recovers() {
+    let _g = lock();
+    let guard = install(
+        // Hits 0 and 1 (workers 1 and 2) succeed; hit 2 (worker 3) fails.
+        FaultPlan::new(7).with(Site::ThreadSpawn, SiteAction::fail_always().after(2)),
+    );
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        PoolBuilder::new(Variant::Signal).threads(4).build()
+    }));
+    let msg = match result {
+        Ok(_) => panic!("build must fail under the forced spawn fault"),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default(),
+    };
+    assert!(
+        msg.contains("failed to spawn worker thread 3 of 4"),
+        "panic must name the failing worker: {msg}"
+    );
+    assert!(
+        msg.contains("2 already-spawned worker(s) joined cleanly"),
+        "panic must confirm the partial teardown: {msg}"
+    );
+    assert_eq!(guard.fires(Site::ThreadSpawn), 1);
+    drop(guard);
+    // The failed build left no residue: a fresh pool works.
+    let pool = PoolBuilder::new(Variant::Signal).threads(4).build();
+    assert_eq!(pool.run(|| join(|| 20, || 22)), (20, 22));
+}
+
+/// Same seed, same plan → same per-site fire pattern over a deterministic
+/// (single-threaded) hit sequence — the property that makes a chaos
+/// failure replayable from its seed alone.
+#[test]
+fn chaos_runs_replay_from_their_seed() {
+    let _g = lock();
+    let fires_for = |seed: u64| {
+        let guard = install(
+            FaultPlan::new(seed).with(Site::SignalSend, SiteAction::fail_always().one_in(5)),
+        );
+        let pattern: Vec<bool> = (0..512)
+            .map(|_| {
+                // Single-threaded hits: the pattern is the pure seeded
+                // schedule, no interleaving noise.
+                lcws_core::fault::probe(Site::SignalSend)
+            })
+            .collect();
+        let fires = guard.fires(Site::SignalSend);
+        drop(guard);
+        (pattern, fires)
+    };
+    let (p1, f1) = fires_for(0xD15EA5E);
+    let (p2, f2) = fires_for(0xD15EA5E);
+    let (p3, _) = fires_for(0xD15EA5E + 1);
+    assert_eq!(p1, p2, "identical seeds must replay identically");
+    assert_eq!(f1, f2);
+    assert_ne!(p1, p3, "a different seed must perturb differently");
+}

@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 
-use lcws_core::deque::{AbpDeque, Steal};
+use lcws_core::deque::{AbpDeque, DequeFull, Steal};
 use lcws_core::{ExposurePolicy, PopBottomMode, SplitDeque};
 use proptest::prelude::*;
 
@@ -185,6 +185,95 @@ proptest! {
             prop_assert_eq!(deque.pop_bottom(), Some(cookie(want)));
         }
         prop_assert_eq!(deque.pop_bottom(), None);
+    }
+
+    #[test]
+    fn split_deque_overflow_fallback_preserves_task_count(
+        cap in 1usize..48,
+        extra in 1usize..24,
+        steal_then_retry in any::<bool>(),
+        signal_safe in any::<bool>(),
+    ) {
+        // The scheduler's overflow contract: a rejected push leaves the
+        // deque untouched and the task with the caller (who runs it
+        // inline), so queued + inline together cover every task exactly
+        // once — nothing lost, nothing duplicated.
+        let mode = if signal_safe { PopBottomMode::SignalSafe } else { PopBottomMode::Standard };
+        let deque = SplitDeque::new(cap);
+        // Fill to exactly capacity.
+        for i in 0..cap {
+            prop_assert!(deque.try_push_bottom(cookie(i)).is_ok());
+        }
+        prop_assert_eq!(deque.private_len() as usize, cap);
+        // Every further push is rejected without disturbing the queue; the
+        // rejected tasks are what the scheduler executes inline.
+        let mut inline: Vec<usize> = Vec::new();
+        for i in cap..cap + extra {
+            prop_assert_eq!(deque.try_push_bottom(cookie(i)), Err(DequeFull));
+            inline.push(i);
+            prop_assert_eq!(deque.private_len() as usize, cap);
+        }
+        // Slot indices are not recycled by steals: even after exposing and
+        // stealing, `bot` still sits at the capacity limit, so pushes keep
+        // degrading until the owner drains (which resets the deque).
+        let mut stolen: Vec<usize> = Vec::new();
+        if steal_then_retry && cap >= 2 {
+            prop_assert_eq!(deque.update_public_bottom(ExposurePolicy::One), 1);
+            match deque.pop_top() {
+                Steal::Ok(t) => stolen.push(t as usize - 1),
+                other => prop_assert!(false, "uncontended steal failed: {:?}", other),
+            }
+            prop_assert_eq!(deque.try_push_bottom(cookie(cap + extra)), Err(DequeFull));
+            inline.push(cap + extra);
+        }
+        // Drain the owner side.
+        let mut drained: Vec<usize> = Vec::new();
+        loop {
+            if let Some(t) = deque.pop_bottom(mode) {
+                drained.push(t as usize - 1);
+            } else if let Some(t) = deque.pop_public_bottom() {
+                drained.push(t as usize - 1);
+            } else {
+                break;
+            }
+        }
+        // Accounting: queued + stolen = exactly the accepted pushes, inline
+        // = exactly the rejected ones, with no overlap.
+        prop_assert_eq!(drained.len() + stolen.len(), cap);
+        let mut all: Vec<usize> = drained;
+        all.extend(stolen);
+        all.extend(inline.iter().copied());
+        all.sort_unstable();
+        let pushed = cap + extra + usize::from(steal_then_retry && cap >= 2);
+        prop_assert_eq!(all, (0..pushed).collect::<Vec<_>>());
+        // After a full drain the deque resets and accepts pushes again.
+        prop_assert!(deque.try_push_bottom(cookie(0)).is_ok());
+    }
+
+    #[test]
+    fn abp_deque_overflow_fallback_preserves_task_count(
+        cap in 1usize..48,
+        extra in 1usize..24,
+    ) {
+        let deque = AbpDeque::new(cap);
+        for i in 0..cap {
+            prop_assert!(deque.try_push_bottom(cookie(i)).is_ok());
+        }
+        let mut inline: Vec<usize> = Vec::new();
+        for i in cap..cap + extra {
+            prop_assert_eq!(deque.try_push_bottom(cookie(i)), Err(DequeFull));
+            inline.push(i);
+        }
+        let mut drained: Vec<usize> = Vec::new();
+        while let Some(t) = deque.pop_bottom() {
+            drained.push(t as usize - 1);
+        }
+        prop_assert_eq!(drained.len(), cap);
+        let mut all = drained;
+        all.extend(inline);
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..cap + extra).collect::<Vec<_>>());
+        prop_assert!(deque.try_push_bottom(cookie(0)).is_ok());
     }
 
     #[test]

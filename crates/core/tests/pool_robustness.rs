@@ -57,24 +57,102 @@ fn sequential_runs_from_different_caller_threads() {
 }
 
 #[test]
-fn deque_overflow_panics_cleanly_and_pool_survives() {
+fn deque_overflow_degrades_to_inline_execution() {
+    // A full deque no longer aborts the run: the spawn that cannot be
+    // queued executes inline on the spawner (a valid schedule for scope
+    // tasks), counted in `overflow_inline`.
     let pool = PoolBuilder::new(Variant::UsLcws)
         .threads(2)
         .deque_capacity(8)
         .build();
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        pool.run(|| {
-            // Spawn far more scope tasks than the deque can hold.
-            scope(|s| {
-                for _ in 0..1000 {
-                    s.spawn(|| std::hint::black_box(()));
-                }
-            });
+    let ran = AtomicU64::new(0);
+    let (_, m) = pool.run_measured(|| {
+        // Spawn far more scope tasks than the deque can hold.
+        scope(|s| {
+            for _ in 0..1000 {
+                let ran = &ran;
+                s.spawn(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
         });
-    }));
-    assert!(result.is_err(), "overflow must panic, not corrupt memory");
-    // Note: after an overflow panic the *pool* object must still drop
-    // safely; leaked heap jobs are acceptable, UB is not.
+    });
+    assert_eq!(
+        ran.load(Ordering::Relaxed),
+        1000,
+        "every spawned task runs exactly once, queued or inline"
+    );
+    assert!(
+        m.overflow_inline() > 0,
+        "a capacity-8 deque must overflow under 1000 eager spawns"
+    );
+    // The pool stays fully usable after degrading.
+    assert_eq!(pool.run(|| 7), 7);
+}
+
+#[test]
+fn deep_unbalanced_fork_tree_survives_tiny_deque() {
+    // A left-spine fork tree of depth 20_000 on a capacity-8 deque: almost
+    // every `join` finds the deque full and falls back to sequential
+    // execution of both arms. The run must complete (no panic, no lost
+    // work), which needs a caller stack big enough for the depth.
+    fn spine(depth: u64) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = join(|| spine(depth - 1), || 1u64);
+        a + b
+    }
+    const DEPTH: u64 = 20_000;
+    let t = std::thread::Builder::new()
+        .stack_size(64 << 20)
+        .spawn(|| {
+            let pool = PoolBuilder::new(Variant::Signal)
+                .threads(4)
+                .deque_capacity(8)
+                .build();
+            let (sum, m) = pool.run_measured(|| spine(DEPTH));
+            (sum, m)
+        })
+        .expect("spawn deep-recursion thread");
+    let (sum, m) = t.join().expect("deep fork tree must not panic");
+    assert_eq!(sum, DEPTH + 1);
+    assert!(
+        m.overflow_inline() > 0,
+        "depth {DEPTH} on capacity 8 must hit the inline fallback: {m}"
+    );
+}
+
+#[test]
+fn overflow_fallback_sustains_deep_recursion_on_capacity_4() {
+    // Acceptance case from the fault-injection issue: a `deque_capacity(4)`
+    // pool survives recursion depth >= 10^4 purely via the inline-execution
+    // fallback, with the degradation visible in metrics.
+    fn tree(depth: u64) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        // Unbalanced: one deep arm, one shallow arm per level.
+        let (a, b) = join(|| tree(depth - 1), || tree(depth.min(2) - 1));
+        a + b + 1
+    }
+    const DEPTH: u64 = 10_000;
+    let t = std::thread::Builder::new()
+        .stack_size(64 << 20)
+        .spawn(|| {
+            let pool = PoolBuilder::new(Variant::UsLcws)
+                .threads(2)
+                .deque_capacity(4)
+                .build();
+            pool.run_measured(|| tree(DEPTH))
+        })
+        .expect("spawn deep-recursion thread");
+    let (sum, m) = t.join().expect("capacity-4 pool must survive depth 10^4");
+    assert!(sum > DEPTH, "tree result grows with depth: {sum}");
+    assert!(
+        m.overflow_inline() > 0,
+        "capacity 4 at depth {DEPTH} must record inline fallbacks: {m}"
+    );
 }
 
 #[test]

@@ -81,6 +81,19 @@ pub enum Counter {
     /// Parks that ended without a matching wakeup: timed-park backstop
     /// expiry or a spurious condvar return.
     SpuriousWake = 15,
+    /// Fork/spawn requests that found the worker's deque full and degraded
+    /// to inline execution on the owner instead of aborting.
+    OverflowInline = 16,
+    /// `pthread_kill` notifications that returned a nonzero status (e.g.
+    /// ESRCH from a racing thread exit) after exhausting the capped retry.
+    SignalSendFailed = 17,
+    /// Failed signal notifications that were rerouted through the
+    /// user-space `targeted`-flag path so the steal request is not lost.
+    SignalFallbackFlag = 18,
+    /// Fault-injection sites that fired (delay, yield storm, or forced
+    /// failure). Always zero unless the `faultpoints` feature of
+    /// `lcws-core` is enabled and a plan is installed.
+    FaultInjected = 19,
 }
 
 /// All counter kinds, in discriminant order.
@@ -101,10 +114,14 @@ pub const COUNTER_KINDS: [Counter; NUM_COUNTERS] = [
     Counter::Park,
     Counter::Unpark,
     Counter::SpuriousWake,
+    Counter::OverflowInline,
+    Counter::SignalSendFailed,
+    Counter::SignalFallbackFlag,
+    Counter::FaultInjected,
 ];
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 16;
+pub const NUM_COUNTERS: usize = 20;
 
 impl Counter {
     /// Short, stable name used in CSV headers.
@@ -126,6 +143,10 @@ impl Counter {
             Counter::Park => "parks",
             Counter::Unpark => "unparks",
             Counter::SpuriousWake => "spurious_wakes",
+            Counter::OverflowInline => "overflow_inline",
+            Counter::SignalSendFailed => "signal_send_failed",
+            Counter::SignalFallbackFlag => "signal_fallback_flag",
+            Counter::FaultInjected => "faults_injected",
         }
     }
 }
@@ -312,6 +333,26 @@ impl Snapshot {
     /// Wakeups delivered to parked workers.
     pub fn unparks(&self) -> u64 {
         self.get(Counter::Unpark)
+    }
+
+    /// Forks/spawns that degraded to inline execution on deque overflow.
+    pub fn overflow_inline(&self) -> u64 {
+        self.get(Counter::OverflowInline)
+    }
+
+    /// `pthread_kill` notifications that failed after the capped retry.
+    pub fn signal_send_failed(&self) -> u64 {
+        self.get(Counter::SignalSendFailed)
+    }
+
+    /// Failed notifications rerouted through the `targeted`-flag fallback.
+    pub fn signal_fallback_flag(&self) -> u64 {
+        self.get(Counter::SignalFallbackFlag)
+    }
+
+    /// Fault-injection sites that fired (requires `faultpoints`).
+    pub fn faults_injected(&self) -> u64 {
+        self.get(Counter::FaultInjected)
     }
 
     /// Fraction of exposed tasks that were **not** stolen (taken back by the

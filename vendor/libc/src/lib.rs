@@ -38,6 +38,12 @@ pub struct sigaction {
 pub const SA_RESTART: c_int = 0x1000_0000;
 /// User-defined signal 1 (Linux, non-MIPS/non-SPARC value).
 pub const SIGUSR1: c_int = 10;
+/// No such process/thread — `pthread_kill` on an exited target.
+pub const ESRCH: c_int = 3;
+/// Resource temporarily unavailable (transient send refusal).
+pub const EAGAIN: c_int = 11;
+/// Invalid argument — e.g. a reused/invalid pthread handle.
+pub const EINVAL: c_int = 22;
 
 extern "C" {
     pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
