@@ -174,6 +174,7 @@ impl<'scope> Scope<'scope> {
         // and the heap job frees itself — nothing leaks, nothing aborts.
         if unsafe { (*ctx).try_push_job(job) }.is_err() {
             metrics::bump(Counter::OverflowInline);
+            crate::trace::record(crate::trace::EventKind::OverflowInline, 0);
             // Safety: the failed push left us sole owner of the job.
             unsafe { (*ctx).execute(job) };
         }

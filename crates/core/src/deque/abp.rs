@@ -20,6 +20,7 @@ use crate::age::AtomicAge;
 use crate::deque::{DequeFull, Steal};
 use crate::fault::{self, Site};
 use crate::job::Job;
+use crate::trace;
 
 /// Bounded ABP deque: `age = {tag, top}` at the top, `bot` at the bottom.
 pub struct AbpDeque {
@@ -63,6 +64,7 @@ impl AbpDeque {
         self.bot.store(b + 1, Ordering::Release);
         metrics::fence_seq_cst();
         metrics::bump(metrics::Counter::Push);
+        trace::record(trace::EventKind::Push, b + 1);
         Ok(())
     }
 
@@ -94,6 +96,7 @@ impl AbpDeque {
         let old_age = self.age.load(Ordering::Relaxed);
         if b1 > old_age.top {
             metrics::bump(metrics::Counter::LocalPop);
+            trace::record(trace::EventKind::LocalPop, b1);
             return Some(task);
         }
         // Zero or one task left: reset and possibly race thieves for it.
@@ -107,6 +110,7 @@ impl AbpDeque {
                 .is_ok()
             {
                 metrics::bump(metrics::Counter::LocalPop);
+                trace::record(trace::EventKind::LocalPop, 0);
                 return Some(task);
             }
         }

@@ -49,6 +49,7 @@ use crate::age::AtomicAge;
 use crate::deque::{DequeFull, Steal};
 use crate::fault::{self, Site};
 use crate::job::Job;
+use crate::trace;
 
 /// How the owner's `pop_bottom` guards against concurrent exposure from a
 /// signal handler (paper §4, "A Subtlety in the Signal-Based
@@ -89,9 +90,17 @@ pub enum ExposurePolicy {
 /// Adding `1.5 * 2^52` forces the value into the mantissa range where the
 /// low 32 bits of the IEEE-754 representation *are* the rounded integer
 /// (round-to-nearest-even, like the hardware default mode the paper runs
-/// under). Valid for `0 ≤ r < 2^31`, far beyond any deque size.
+/// under). Valid for `0 ≤ r < 2^31`, far beyond any deque size — outside
+/// that domain the truncated bits are garbage, so debug builds assert the
+/// range instead of returning it silently.
 #[inline]
 pub fn double2int(r: f64) -> i32 {
+    // The edge is 2^31 - 0.5, not 2^31: anything at or above it *rounds*
+    // to 2^31, whose low 32 bits read back as `i32::MIN`.
+    debug_assert!(
+        (0.0..2147483647.5).contains(&r),
+        "double2int is only defined for 0 <= round(r) < 2^31, got {r}"
+    );
     const MAGIC: f64 = 6755399441055744.0; // 1.5 * 2^52
     (r + MAGIC).to_bits() as i32
 }
@@ -151,6 +160,7 @@ impl SplitDeque {
         self.slots[b as usize].store(task, Ordering::Relaxed);
         self.bot.store(b + 1, Ordering::Relaxed);
         metrics::bump(metrics::Counter::Push);
+        trace::record(trace::EventKind::Push, b + 1);
         Ok(())
     }
 
@@ -187,6 +197,7 @@ impl SplitDeque {
                 self.bot.store(b1, Ordering::Relaxed);
                 let task = self.slots[b1 as usize].load(Ordering::Relaxed);
                 metrics::bump(metrics::Counter::LocalPop);
+                trace::record(trace::EventKind::LocalPop, b1);
                 Some(task)
             }
             PopBottomMode::SignalSafe => {
@@ -209,6 +220,7 @@ impl SplitDeque {
                 }
                 let task = self.slots[b1 as usize].load(Ordering::Relaxed);
                 metrics::bump(metrics::Counter::LocalPop);
+                trace::record(trace::EventKind::LocalPop, b1);
                 Some(task)
             }
         }
@@ -242,6 +254,7 @@ impl SplitDeque {
             // follows the boundary.
             self.bot.store(pb, Ordering::Relaxed);
             metrics::bump(metrics::Counter::OwnerPublicPop);
+            trace::record(trace::EventKind::PublicPop, pb);
             return Some(task);
         }
         // At most one public task remains and thieves may be racing for it:
@@ -262,6 +275,7 @@ impl SplitDeque {
         };
         let result = if won {
             metrics::bump(metrics::Counter::OwnerPublicPop);
+            trace::record(trace::EventKind::PublicPop, 0);
             Some(task)
         } else {
             // A thief took it (or top had already moved past us): make the
@@ -359,6 +373,9 @@ impl SplitDeque {
             // slot contents before the moved boundary.
             self.public_bot.store(pb + exposed, Ordering::Release);
             metrics::bump_by(metrics::Counter::Exposure, exposed as u64);
+            // May run in signal-handler context; the trace record is
+            // async-signal-safe by design (see `crate::trace`).
+            trace::record(trace::EventKind::Expose, exposed);
         }
         exposed
     }

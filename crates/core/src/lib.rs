@@ -71,6 +71,7 @@ mod job;
 mod pool;
 mod signal;
 mod sleep;
+pub mod trace;
 mod variant;
 mod worker;
 
@@ -83,6 +84,9 @@ pub use job::Job;
 pub use pool::{PoolBuilder, ThreadPool};
 pub use signal::EXPOSE_SIGNAL;
 pub use sleep::IdlePolicy;
+#[cfg(feature = "trace")]
+pub use trace::Trace;
+pub use trace::{EventKind, TraceEvent};
 pub use variant::{ParseVariantError, Variant};
 
 // Re-export the metrics surface users need to interpret `run_measured`.

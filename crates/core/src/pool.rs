@@ -21,6 +21,8 @@ use parking_lot::{Condvar, Mutex};
 use crate::deque::{AbpDeque, SplitDeque, DEFAULT_DEQUE_CAPACITY};
 use crate::signal;
 use crate::sleep::{IdlePolicy, Sleep};
+#[cfg(feature = "trace")]
+use crate::trace;
 use crate::variant::Variant;
 use crate::worker::{current_ctx, WorkerCtx};
 
@@ -48,10 +50,19 @@ pub(crate) struct WorkerShared {
     /// polls at its task boundaries (the USLCWS path) — a failed signal
     /// degrades exposure latency, never loses the request.
     pub(crate) fallback_expose: CachePadded<AtomicBool>,
+    /// This worker's scheduling-event ring (owner-written, drained at run
+    /// close; see `crate::trace`).
+    #[cfg(feature = "trace")]
+    pub(crate) trace: trace::TraceRing,
 }
 
 impl WorkerShared {
-    fn new(variant: Variant, capacity: usize) -> WorkerShared {
+    fn new(
+        variant: Variant,
+        capacity: usize,
+        #[cfg(feature = "trace")] index: usize,
+        #[cfg(feature = "trace")] trace_capacity: usize,
+    ) -> WorkerShared {
         let deque = if variant.uses_split_deque() {
             AnyDeque::Split(SplitDeque::new(capacity))
         } else {
@@ -63,6 +74,8 @@ impl WorkerShared {
             pthread: AtomicU64::new(0),
             wake_pending: CachePadded::new(AtomicBool::new(false)),
             fallback_expose: CachePadded::new(AtomicBool::new(false)),
+            #[cfg(feature = "trace")]
+            trace: trace::TraceRing::new(index as u16, trace_capacity),
         }
     }
 }
@@ -89,6 +102,10 @@ pub(crate) struct PoolInner {
     sync: Mutex<()>,
     start_cv: Condvar,
     quiesce_cv: Condvar,
+    /// Merged trace of the most recent completed run (drained at run
+    /// close), handed out by `ThreadPool::take_trace`.
+    #[cfg(feature = "trace")]
+    trace_last: Mutex<Option<trace::Trace>>,
 }
 
 /// Builder for [`ThreadPool`].
@@ -98,6 +115,8 @@ pub struct PoolBuilder {
     threads: Option<usize>,
     deque_capacity: usize,
     idle: IdlePolicy,
+    #[cfg(feature = "trace")]
+    trace_capacity: usize,
 }
 
 impl PoolBuilder {
@@ -108,6 +127,8 @@ impl PoolBuilder {
             threads: None,
             deque_capacity: DEFAULT_DEQUE_CAPACITY,
             idle: IdlePolicy::default(),
+            #[cfg(feature = "trace")]
+            trace_capacity: trace::DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -133,6 +154,16 @@ impl PoolBuilder {
         self
     }
 
+    /// Per-worker trace-ring capacity in events (16 bytes each). When a
+    /// run records more, the ring keeps the newest events and
+    /// [`crate::trace::Trace::dropped`] reports the overwritten count.
+    #[cfg(feature = "trace")]
+    pub fn trace_capacity(mut self, events: usize) -> PoolBuilder {
+        assert!(events > 0, "trace ring needs at least one slot");
+        self.trace_capacity = events;
+        self
+    }
+
     /// Spawn the helper threads and return the pool.
     pub fn build(self) -> ThreadPool {
         let threads = self.threads.unwrap_or_else(|| {
@@ -143,8 +174,14 @@ impl PoolBuilder {
         if self.variant.uses_signals() {
             signal::install_handler();
         }
+        #[cfg(not(feature = "trace"))]
         let workers = (0..threads)
             .map(|_| WorkerShared::new(self.variant, self.deque_capacity))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        #[cfg(feature = "trace")]
+        let workers = (0..threads)
+            .map(|i| WorkerShared::new(self.variant, self.deque_capacity, i, self.trace_capacity))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         let inner = Arc::new(PoolInner {
@@ -161,6 +198,8 @@ impl PoolBuilder {
             sync: Mutex::new(()),
             start_cv: Condvar::new(),
             quiesce_cv: Condvar::new(),
+            #[cfg(feature = "trace")]
+            trace_last: Mutex::new(None),
         });
         let mut handles = Vec::with_capacity(threads.saturating_sub(1));
         for index in 1..threads {
@@ -275,6 +314,12 @@ impl ThreadPool {
         pool.workers[0]
             .pthread
             .store(signal::current_pthread() as u64, Ordering::Release);
+        // Helpers are parked between runs and the caller has not installed
+        // its ctx yet, so nobody records while the rings reset.
+        #[cfg(feature = "trace")]
+        for w in pool.workers.iter() {
+            w.trace.reset();
+        }
 
         // Open the generation (under the lock to avoid lost wakeups).
         {
@@ -287,6 +332,10 @@ impl ThreadPool {
         let ctx = WorkerCtx::new(pool, 0);
         let result = {
             let _guard = ctx.install();
+            crate::trace::record(
+                crate::trace::EventKind::RunStart,
+                pool.workers.len() as u32,
+            );
             panic::catch_unwind(AssertUnwindSafe(f))
         };
 
@@ -302,6 +351,21 @@ impl ThreadPool {
             while pool.active.load(Ordering::Acquire) != 0 {
                 pool.quiesce_cv.wait(&mut g);
             }
+        }
+        // Quiescent: helpers left their work loop through the `active`
+        // AcqRel handshake, so every ring write happens-before this drain.
+        // The caller's TLS ring was cleared with its ctx guard; worker 0's
+        // ring is still exclusively ours, so the close marker goes in
+        // directly.
+        #[cfg(feature = "trace")]
+        {
+            pool.workers[0]
+                .trace
+                .record_now(trace::EventKind::RunClose, 0);
+            let merged = trace::Trace::merge(
+                pool.workers.iter().map(|w| w.trace.drain()).collect(),
+            );
+            *pool.trace_last.lock() = Some(merged);
         }
         match result {
             Ok(v) => v,
@@ -323,6 +387,14 @@ impl ThreadPool {
     /// Synchronization counters of the most recent completed run.
     pub fn metrics(&self) -> Snapshot {
         self.inner.collector.snapshot()
+    }
+
+    /// Take the merged scheduling trace of the most recent completed run
+    /// (`None` if no run finished since the last take). See
+    /// [`crate::trace`] for the event model and export helpers.
+    #[cfg(feature = "trace")]
+    pub fn take_trace(&self) -> Option<trace::Trace> {
+        self.inner.trace_last.lock().take()
     }
 }
 

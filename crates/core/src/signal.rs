@@ -31,6 +31,7 @@ use lcws_metrics as metrics;
 
 use crate::deque::{ExposurePolicy, SplitDeque};
 use crate::fault::{self, Site};
+use crate::trace;
 
 /// The signal used for work-exposure requests, as in the paper's Listing 3.
 pub const EXPOSE_SIGNAL: libc::c_int = libc::SIGUSR1;
@@ -57,9 +58,18 @@ thread_local! {
     static HANDLER_CTX: Cell<*const HandlerCtx> = const { Cell::new(std::ptr::null()) };
 }
 
-extern "C" fn expose_handler(_sig: libc::c_int) {
+/// Three-argument (`SA_SIGINFO`) handler. Everything in here — including
+/// the [`trace`] records, which are plain TLS ring-buffer stores plus
+/// `clock_gettime(CLOCK_MONOTONIC)` — is on the POSIX async-signal-safe
+/// list; see the module docs.
+extern "C" fn expose_handler(
+    _sig: libc::c_int,
+    _info: *mut libc::siginfo_t,
+    _uctx: *mut libc::c_void,
+) {
     // Signal-handler context: injected actions must be spin delays only.
     fault::point(Site::HandlerEntry);
+    trace::record(trace::EventKind::HandlerEntry, 0);
     let ctx = HANDLER_CTX.with(|c| c.get());
     if ctx.is_null() {
         return;
@@ -71,6 +81,7 @@ extern "C" fn expose_handler(_sig: libc::c_int) {
     unsafe {
         metrics::bump(metrics::Counter::ExposureRequest);
         let exposed = (*(*ctx).deque).update_public_bottom((*ctx).policy);
+        trace::record(trace::EventKind::HandlerExpose, exposed as u32);
         // Exposed work could feed a parked thief, but waking from a signal
         // handler is forbidden (see `HandlerCtx::wake_pending`): record the
         // event with a plain atomic store and let the owner wake.
@@ -83,13 +94,18 @@ extern "C" fn expose_handler(_sig: libc::c_int) {
 /// Install the process-wide `SIGUSR1` handler (idempotent).
 ///
 /// `SA_RESTART` keeps interrupted slow syscalls (condvar waits between pool
-/// runs, I/O in user code) transparent to their callers.
+/// runs, I/O in user code) transparent to their callers. `SA_SIGINFO` is
+/// set because the handler uses the three-argument `sa_sigaction`
+/// signature: registering a 1-arg handler through the `sa_sigaction` field
+/// happens to work on Linux only because glibc unions the two fields, and
+/// the flag makes the registration match the handler ABI on every POSIX
+/// target.
 pub(crate) fn install_handler() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| unsafe {
         let mut sa: libc::sigaction = std::mem::zeroed();
         sa.sa_sigaction = expose_handler as *const () as usize;
-        sa.sa_flags = libc::SA_RESTART;
+        sa.sa_flags = libc::SA_RESTART | libc::SA_SIGINFO;
         libc::sigemptyset(&mut sa.sa_mask);
         let rc = libc::sigaction(EXPOSE_SIGNAL, &sa, std::ptr::null_mut());
         assert_eq!(rc, 0, "sigaction(SIGUSR1) failed");
@@ -124,7 +140,6 @@ const SEND_RETRIES: u32 = 2;
 /// caller so the steal request can be rerouted through the user-space
 /// `targeted`-flag path instead of being silently dropped.
 pub(crate) fn notify(target: u64) -> Result<(), libc::c_int> {
-    metrics::bump(metrics::Counter::SignalSent);
     let mut rc = send_once(target);
     let mut attempt = 0;
     while rc == libc::EAGAIN && attempt < SEND_RETRIES {
@@ -134,7 +149,12 @@ pub(crate) fn notify(target: u64) -> Result<(), libc::c_int> {
         attempt += 1;
         rc = send_once(target);
     }
+    // `SignalSent` means *delivered*: the paper's Fig. 8 counts signals that
+    // actually reached a victim, so a failed send must not inflate it (it
+    // lands in `SignalSendFailed` instead) and each EAGAIN re-send shows up
+    // only in `SignalSendAttempt` (bumped per attempt in `send_once`).
     if rc == 0 {
+        metrics::bump(metrics::Counter::SignalSent);
         Ok(())
     } else {
         metrics::bump(metrics::Counter::SignalSendFailed);
@@ -145,6 +165,7 @@ pub(crate) fn notify(target: u64) -> Result<(), libc::c_int> {
 /// One raw `pthread_kill` attempt, with the fault-injection hook that lets
 /// chaos tests force the failure outcome without a racing thread exit.
 fn send_once(target: u64) -> libc::c_int {
+    metrics::bump(metrics::Counter::SignalSendAttempt);
     if fault::fail_at(Site::SignalSend) {
         return libc::ESRCH;
     }

@@ -69,6 +69,7 @@ use lcws_metrics::Counter;
 use parking_lot::{Condvar, Mutex};
 
 use crate::fault::{self, Site};
+use crate::trace;
 
 /// Spin-loop rounds before escalating to yields (stage 1 length).
 const SPIN_ROUNDS: u32 = 64;
@@ -236,6 +237,7 @@ impl Sleep {
         }
 
         metrics::bump(Counter::Park);
+        trace::record(trace::EventKind::Park, 0);
         let _ = slot.cv.wait_for(&mut woken, PARK_TIMEOUT);
         if *woken {
             *woken = false;
@@ -243,6 +245,7 @@ impl Sleep {
             // Timeout expiry or spurious condvar return: nobody signed up
             // to wake us, so count it against the backstop.
             metrics::bump(Counter::SpuriousWake);
+            trace::record(trace::EventKind::SpuriousWake, 0);
         }
         drop(woken);
         self.retire(index);
@@ -313,6 +316,8 @@ impl Sleep {
         *woken = true;
         slot.cv.notify_one();
         metrics::bump(Counter::Unpark);
+        // Recorded on the *waker's* ring: the wake decision is its event.
+        trace::record(trace::EventKind::Unpark, index as u32);
         true
     }
 }

@@ -1,0 +1,555 @@
+//! Async-signal-safe scheduling trace (the `lcws-trace` layer, opt-in via
+//! the `trace` cargo feature).
+//!
+//! Synchronization *counts* (the [`crate::Snapshot`] profile) reproduce the
+//! paper's Figures 3 and 8, but they cannot show the §4 headline property —
+//! work exposure in **constant time, up to OS signal-delivery latency** —
+//! nor explain a steal/park interleaving the chaos suite provokes. This
+//! module records a per-worker timeline instead: every scheduling event of
+//! interest is appended to the worker's fixed-capacity ring buffer as a
+//! 16-byte `(CLOCK_MONOTONIC timestamp, worker, kind, payload)` record, and
+//! the rings are drained at run close into a merged, time-ordered
+//! [`Trace`] that can be exported as Chrome trace-event JSON
+//! (chrome://tracing, Perfetto) or reduced to a signal-delivery latency
+//! distribution (thief-side [`EventKind::SignalSend`] paired with the
+//! victim's [`EventKind::HandlerEntry`]).
+//!
+//! ## Async-signal-safety
+//!
+//! [`EventKind::HandlerEntry`] and [`EventKind::HandlerExpose`] are
+//! recorded *inside* the `SIGUSR1` handler, so the recording path is held
+//! to the same standard as the handler itself (see `crate::signal`):
+//!
+//! * the ring pointer lives in a const-initialized `thread_local!` `Cell`,
+//!   installed by the worker prologue before the thread can be signalled —
+//!   no lazy TLS initialization can run in the handler;
+//! * a record is two Relaxed atomic ops on the ring head plus a plain
+//!   16-byte slot store — no allocation, no locks, no formatting;
+//! * the timestamp comes from `clock_gettime(CLOCK_MONOTONIC)`, which
+//!   POSIX.1-2008 lists as async-signal-safe.
+//!
+//! The ring head is reserved *before* the slot is written, so a handler
+//! interrupting its own thread's in-flight record appends to the next slot
+//! and at most **one** event (the interrupted one, overwritten on resume)
+//! can be lost per interruption — the timeline never tears beyond that.
+//!
+//! ## Zero cost when disabled
+//!
+//! Without the `trace` feature, [`record`] is an empty `#[inline(always)]`
+//! stub the compiler folds away — the default build contains no trace code,
+//! exactly like the `faultpoints` layer (CI asserts both).
+//!
+//! ## Drain points
+//!
+//! Rings are owner-written during a run and drained by `ThreadPool::run`
+//! after quiescence: helpers leave the work loop with an `AcqRel`
+//! handshake on `active`, which orders every Relaxed ring write before the
+//! drain's reads. The merged trace of the last run is then available from
+//! `ThreadPool::take_trace`.
+
+#[cfg(feature = "trace")]
+use std::cell::{Cell, UnsafeCell};
+#[cfg(feature = "trace")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happened. The set spans the whole scheduling stack: deque
+/// transitions, the signal path, flag polls, the sleeper, and the run
+/// lifecycle. The numeric values are the on-ring encoding; they are
+/// append-only across versions so archived traces stay decodable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum EventKind {
+    /// A pool run opened (worker 0; payload = number of workers).
+    RunStart = 0,
+    /// A pool run closed after quiescence (worker 0; payload = 0).
+    RunClose = 1,
+    /// Owner pushed a task (payload = deque depth after the push).
+    Push = 2,
+    /// Owner popped a private/bottom task (payload = depth after the pop).
+    LocalPop = 3,
+    /// Owner popped from the public part (payload = new public boundary).
+    PublicPop = 4,
+    /// Thief stole a task; recorded on the thief (payload = victim index).
+    StealOk = 5,
+    /// Thief found only private work; recorded on the thief
+    /// (payload = victim index) — the trigger of an exposure request.
+    StealPrivate = 6,
+    /// Tasks moved private → public (payload = how many).
+    Expose = 7,
+    /// Thief sent (or began sending) `SIGUSR1` to a victim
+    /// (payload = victim index). Recorded *before* `pthread_kill`, so the
+    /// victim's [`EventKind::HandlerEntry`] minus this timestamp is the
+    /// true delivery latency.
+    SignalSend = 8,
+    /// The send failed after retries (payload = victim index); cancels the
+    /// pending latency pairing and reroutes via the fallback flag.
+    SignalSendFailed = 9,
+    /// `SIGUSR1` handler entered on the victim (payload = 0). Recorded in
+    /// signal context.
+    HandlerEntry = 10,
+    /// Handler finished its exposure (payload = tasks exposed, possibly 0).
+    /// Recorded in signal context.
+    HandlerExpose = 11,
+    /// Owner served an exposure request at a task boundary (payload = 0
+    /// for the USLCWS `targeted` flag, 1 for the degraded-signal
+    /// `fallback_expose` flag).
+    TargetedPoll = 12,
+    /// Thief rerouted a failed signal through the fallback flag
+    /// (payload = victim index).
+    FallbackReroute = 13,
+    /// Worker blocked on its sleeper slot (payload = 0).
+    Park = 14,
+    /// A producer delivered a wakeup; recorded on the *waker*
+    /// (payload = index of the woken worker).
+    Unpark = 15,
+    /// A park returned without a wakeup (timed backstop or spurious
+    /// condvar return; payload = 0).
+    SpuriousWake = 16,
+    /// A fork degraded to inline execution on deque overflow (payload = 0).
+    OverflowInline = 17,
+}
+
+impl EventKind {
+    /// Stable snake_case name, used for Chrome JSON and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RunStart => "run_start",
+            EventKind::RunClose => "run_close",
+            EventKind::Push => "push",
+            EventKind::LocalPop => "local_pop",
+            EventKind::PublicPop => "public_pop",
+            EventKind::StealOk => "steal_ok",
+            EventKind::StealPrivate => "steal_private",
+            EventKind::Expose => "expose",
+            EventKind::SignalSend => "signal_send",
+            EventKind::SignalSendFailed => "signal_send_failed",
+            EventKind::HandlerEntry => "handler_entry",
+            EventKind::HandlerExpose => "handler_expose",
+            EventKind::TargetedPoll => "targeted_poll",
+            EventKind::FallbackReroute => "fallback_reroute",
+            EventKind::Park => "park",
+            EventKind::Unpark => "unpark",
+            EventKind::SpuriousWake => "spurious_wake",
+            EventKind::OverflowInline => "overflow_inline",
+        }
+    }
+
+    /// Decode the on-ring representation (`None` for values this build
+    /// does not know, e.g. a torn slot from the bounded-loss window).
+    pub fn from_u16(v: u16) -> Option<EventKind> {
+        Some(match v {
+            0 => EventKind::RunStart,
+            1 => EventKind::RunClose,
+            2 => EventKind::Push,
+            3 => EventKind::LocalPop,
+            4 => EventKind::PublicPop,
+            5 => EventKind::StealOk,
+            6 => EventKind::StealPrivate,
+            7 => EventKind::Expose,
+            8 => EventKind::SignalSend,
+            9 => EventKind::SignalSendFailed,
+            10 => EventKind::HandlerEntry,
+            11 => EventKind::HandlerExpose,
+            12 => EventKind::TargetedPoll,
+            13 => EventKind::FallbackReroute,
+            14 => EventKind::Park,
+            15 => EventKind::Unpark,
+            16 => EventKind::SpuriousWake,
+            17 => EventKind::OverflowInline,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// `CLOCK_MONOTONIC` nanoseconds (comparable within one process run).
+    pub ts_ns: u64,
+    /// Worker that recorded the event.
+    pub worker: u16,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub payload: u32,
+}
+
+/// Default per-worker ring capacity in events (16 bytes each → 1 MiB per
+/// worker). Override with `PoolBuilder::trace_capacity`.
+#[cfg(feature = "trace")]
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// On-ring record layout: 16 bytes, plain-copyable from signal context.
+#[cfg(feature = "trace")]
+#[derive(Clone, Copy)]
+struct RawEvent {
+    ts_ns: u64,
+    kind: u16,
+    worker: u16,
+    payload: u32,
+}
+
+/// `CLOCK_MONOTONIC` in nanoseconds. Async-signal-safe.
+#[cfg(feature = "trace")]
+#[inline]
+fn now_ns() -> u64 {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // Safety: plain out-pointer syscall wrapper; CLOCK_MONOTONIC always
+    // exists on Linux, so the result is ignored (a failure would leave the
+    // zeroed timespec, which only misorders trace output, never UB).
+    unsafe { libc::clock_gettime(libc::CLOCK_MONOTONIC, &mut ts) };
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// A single worker's event ring. Written only by its owner thread
+/// (including from that thread's signal handler); read by the pool at
+/// quiescence, after the run-close handshake established happens-before.
+#[cfg(feature = "trace")]
+pub(crate) struct TraceRing {
+    worker: u16,
+    /// Total events ever recorded (monotonic); slot = `head % capacity`.
+    /// Owner-only Relaxed ops — the cross-thread ordering comes from the
+    /// pool's quiescence handshake, not from this field.
+    head: AtomicU64,
+    slots: Box<[UnsafeCell<RawEvent>]>,
+}
+
+// Safety: slots are written only by the owner thread and read by the pool
+// only at quiescence, where the `active` AcqRel handshake orders every
+// owner write before the reader's loads — no concurrent access exists.
+#[cfg(feature = "trace")]
+unsafe impl Send for TraceRing {}
+#[cfg(feature = "trace")]
+unsafe impl Sync for TraceRing {}
+
+#[cfg(feature = "trace")]
+impl TraceRing {
+    pub(crate) fn new(worker: u16, capacity: usize) -> TraceRing {
+        assert!(capacity > 0, "trace ring needs at least one slot");
+        TraceRing {
+            worker,
+            head: AtomicU64::new(0),
+            slots: (0..capacity)
+                .map(|_| {
+                    UnsafeCell::new(RawEvent {
+                        ts_ns: 0,
+                        kind: u16::MAX,
+                        worker: 0,
+                        payload: 0,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Record an event now. Owner thread (or its signal handler) only.
+    ///
+    /// Reserve-head-first ordering: the head is advanced *before* the slot
+    /// store, so a signal handler interrupting between the two appends to
+    /// the next slot and the interrupted event is the only one at risk
+    /// (overwritten when the owner resumes) — bounded loss of one event
+    /// per interruption, never a corrupted ring structure.
+    #[inline]
+    pub(crate) fn record_now(&self, kind: EventKind, payload: u32) {
+        let h = self.head.load(Ordering::Relaxed);
+        self.head.store(h + 1, Ordering::Relaxed);
+        let idx = (h % self.slots.len() as u64) as usize;
+        // Safety: owner-only write discipline (see the Sync rationale); the
+        // handler runs on the owning thread so this is never concurrent.
+        unsafe {
+            *self.slots[idx].get() = RawEvent {
+                ts_ns: now_ns(),
+                kind: kind as u16,
+                worker: self.worker,
+                payload,
+            };
+        }
+    }
+
+    /// Forget all recorded events (between runs, owner quiesced).
+    pub(crate) fn reset(&self) {
+        self.head.store(0, Ordering::Relaxed);
+    }
+
+    /// Decode the ring's surviving events in record order, plus how many
+    /// older events the ring capacity overwrote. Caller must hold the
+    /// quiescence happens-before (see the Sync rationale).
+    pub(crate) fn drain(&self) -> (Vec<TraceEvent>, u64) {
+        let h = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let kept = h.min(cap);
+        let dropped = h - kept;
+        let mut out = Vec::with_capacity(kept as usize);
+        for i in (h - kept)..h {
+            // Safety: quiescent read; see above.
+            let raw = unsafe { *self.slots[(i % cap) as usize].get() };
+            if let Some(kind) = EventKind::from_u16(raw.kind) {
+                out.push(TraceEvent {
+                    ts_ns: raw.ts_ns,
+                    worker: raw.worker,
+                    kind,
+                    payload: raw.payload,
+                });
+            }
+        }
+        (out, dropped)
+    }
+}
+
+#[cfg(feature = "trace")]
+thread_local! {
+    /// The current thread's ring; null outside pool participation. Const-
+    /// initialized so the signal handler never triggers lazy TLS init.
+    static RING: Cell<*const TraceRing> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Point the current thread's [`record`] calls at `ring` (null to disarm).
+///
+/// # Safety
+/// `ring`, when non-null, must stay valid until replaced or cleared, and
+/// the calling thread must be the ring's sole writer while installed.
+#[cfg(feature = "trace")]
+pub(crate) unsafe fn set_ring(ring: *const TraceRing) {
+    RING.with(|c| c.set(ring));
+}
+
+/// Append an event to the current thread's ring, if one is installed.
+/// Async-signal-safe (see the module docs); a no-op outside pool runs.
+#[cfg(feature = "trace")]
+#[inline]
+pub(crate) fn record(kind: EventKind, payload: u32) {
+    let r = RING.with(|c| c.get());
+    if r.is_null() {
+        return;
+    }
+    // Safety: non-null pointers are installed by the worker prologue and
+    // cleared before the referent is dropped (CtxGuard in worker.rs).
+    unsafe { (*r).record_now(kind, payload) };
+}
+
+/// With `trace` disabled, recording is an empty function the compiler
+/// removes entirely — the hook sites compile to nothing.
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub(crate) fn record(_kind: EventKind, _payload: u32) {}
+
+/// The merged, time-ordered trace of one pool run.
+#[cfg(feature = "trace")]
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All surviving events, sorted by timestamp (ties keep worker order).
+    pub events: Vec<TraceEvent>,
+    /// Number of workers the run used.
+    pub workers: usize,
+    /// Events lost to ring-capacity overwrites (raise
+    /// `PoolBuilder::trace_capacity` if non-zero).
+    pub dropped: u64,
+}
+
+#[cfg(feature = "trace")]
+impl Trace {
+    /// Merge per-ring drains into one time-ordered trace.
+    pub(crate) fn merge(per_ring: Vec<(Vec<TraceEvent>, u64)>) -> Trace {
+        let workers = per_ring.len();
+        let mut dropped = 0;
+        let mut events = Vec::with_capacity(per_ring.iter().map(|(v, _)| v.len()).sum());
+        for (evs, d) in per_ring {
+            dropped += d;
+            events.extend(evs);
+        }
+        // Stable: same-timestamp events keep per-worker record order.
+        events.sort_by_key(|e| e.ts_ns);
+        Trace {
+            events,
+            workers,
+            dropped,
+        }
+    }
+
+    /// Render as Chrome trace-event JSON (the `{"traceEvents": [...]}`
+    /// object form), loadable in chrome://tracing and Perfetto. Every
+    /// record becomes a thread-scoped instant event on `tid = worker`;
+    /// timestamps are microseconds relative to the first event.
+    pub fn to_chrome_json(&self) -> String {
+        let t0 = self.events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+        let mut out = String::with_capacity(self.events.len() * 96 + 64);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rel = e.ts_ns - t0;
+            // Microseconds with nanosecond precision, as Perfetto expects.
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{}.{:03},\"args\":{{\"payload\":{}}}}}",
+                e.kind.name(),
+                e.worker,
+                rel / 1_000,
+                rel % 1_000,
+                e.payload,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// True signal-delivery latencies: each thief-side
+    /// [`EventKind::SignalSend`] paired with the victim's next
+    /// [`EventKind::HandlerEntry`], in nanoseconds.
+    ///
+    /// Pairing walks the time-ordered stream keeping a FIFO of unmatched
+    /// sends per victim: a [`EventKind::SignalSendFailed`] cancels that
+    /// thief's pending send (the retry loop is synchronous, so a thief has
+    /// at most one in flight), and a handler entry consumes the oldest
+    /// pending send. Sends left unmatched at the end are coalesced signals
+    /// (the OS merges a `SIGUSR1` sent while one is already pending) and
+    /// produce no sample.
+    pub fn signal_latencies_ns(&self) -> Vec<u64> {
+        let mut pending: std::collections::HashMap<u32, Vec<(u64, u16)>> =
+            std::collections::HashMap::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::SignalSend => {
+                    pending.entry(e.payload).or_default().push((e.ts_ns, e.worker));
+                }
+                EventKind::SignalSendFailed => {
+                    if let Some(q) = pending.get_mut(&e.payload) {
+                        if let Some(pos) = q.iter().rposition(|&(_, t)| t == e.worker) {
+                            q.remove(pos);
+                        }
+                    }
+                }
+                EventKind::HandlerEntry => {
+                    if let Some(q) = pending.get_mut(&(e.worker as u32)) {
+                        if !q.is_empty() {
+                            let (sent, _) = q.remove(0);
+                            out.push(e.ts_ns.saturating_sub(sent));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Events of one kind, in time order (convenience for tests/tools).
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+
+    fn ev(ts_ns: u64, worker: u16, kind: EventKind, payload: u32) -> TraceEvent {
+        TraceEvent {
+            ts_ns,
+            worker,
+            kind,
+            payload,
+        }
+    }
+
+    #[test]
+    fn ring_records_and_drains_in_order() {
+        let ring = TraceRing::new(3, 8);
+        // Safety: single-threaded test — we are the owner.
+        unsafe { set_ring(&ring) };
+        for i in 0..5u32 {
+            record(EventKind::Push, i);
+        }
+        unsafe { set_ring(std::ptr::null()) };
+        let (events, dropped) = ring.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.worker, 3);
+            assert_eq!(e.kind, EventKind::Push);
+            assert_eq!(e.payload, i as u32);
+        }
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn ring_wrap_keeps_newest_and_counts_dropped() {
+        let ring = TraceRing::new(0, 4);
+        for i in 0..10u32 {
+            ring.record_now(EventKind::LocalPop, i);
+        }
+        let (events, dropped) = ring.drain();
+        assert_eq!(dropped, 6);
+        let payloads: Vec<u32> = events.iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, [6, 7, 8, 9]);
+        ring.reset();
+        let (events, dropped) = ring.drain();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn record_without_ring_is_a_noop() {
+        record(EventKind::Park, 0); // must not crash
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        for v in 0..32u16 {
+            if let Some(k) = EventKind::from_u16(v) {
+                assert_eq!(k as u16, v);
+                assert!(!k.name().is_empty());
+            }
+        }
+        assert_eq!(EventKind::from_u16(u16::MAX), None, "fresh-slot marker");
+    }
+
+    #[test]
+    fn latency_pairing_matches_send_to_handler_entry() {
+        // Thief 1 signals victim 0 twice; the second send coalesces (only
+        // one handler entry). Thief 2's failed send must not pair.
+        let t = Trace {
+            events: vec![
+                ev(100, 1, EventKind::SignalSend, 0),
+                ev(150, 2, EventKind::SignalSend, 0),
+                ev(160, 2, EventKind::SignalSendFailed, 0),
+                ev(400, 0, EventKind::HandlerEntry, 0),
+                ev(500, 1, EventKind::SignalSend, 0),
+                ev(900, 0, EventKind::HandlerEntry, 0),
+                ev(950, 1, EventKind::SignalSend, 0), // coalesced: unmatched
+            ],
+            workers: 3,
+            dropped: 0,
+        };
+        assert_eq!(t.signal_latencies_ns(), vec![300, 400]);
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed_and_relative() {
+        let t = Trace {
+            events: vec![
+                ev(1_000_000, 0, EventKind::RunStart, 2),
+                ev(1_002_500, 1, EventKind::StealOk, 0),
+            ],
+            workers: 2,
+            dropped: 0,
+        };
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"run_start\""));
+        assert!(json.contains("\"ts\":0.000"));
+        assert!(json.contains("\"ts\":2.500"), "µs with ns precision: {json}");
+        assert!(json.contains("\"tid\":1"));
+        assert_eq!(
+            json.matches("{\"name\":").count(),
+            2,
+            "one object per event"
+        );
+    }
+}

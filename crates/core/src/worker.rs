@@ -16,6 +16,7 @@ use crate::job::{Job, StackJob};
 use crate::pool::{AnyDeque, PoolInner, WorkerShared};
 use crate::signal::{self, HandlerCtx};
 use crate::sleep::{IdleAction, IdleBackoff};
+use crate::trace;
 use crate::variant::Variant;
 
 thread_local! {
@@ -94,6 +95,13 @@ impl WorkerCtx {
             debug_assert!(c.get().is_null(), "nested worker ctx installation");
             c.set(self as *const WorkerCtx);
         });
+        // Arm the trace ring before the handler ctx: once signals can land,
+        // the handler's records must already have somewhere to go.
+        // Safety: the ring lives in the pool, which outlives the guard.
+        #[cfg(feature = "trace")]
+        unsafe {
+            trace::set_ring(&self.shared().trace)
+        };
         if self.variant().uses_signals() {
             // Safety: `self` outlives the guard, which disarms on drop.
             unsafe { signal::set_handler_ctx(&self.handler_ctx) };
@@ -177,6 +185,7 @@ impl WorkerCtx {
                 // requests whose signal already failed).
                 if variant.polls_fallback_flag() && w.fallback_expose.load(Ordering::Relaxed) {
                     fault::point(Site::TargetedPoll);
+                    trace::record(trace::EventKind::TargetedPoll, 1);
                     w.fallback_expose.store(false, Ordering::Relaxed);
                     metrics::bump(Counter::ExposureRequest);
                     if d.update_public_bottom(variant.exposure_policy()) > 0 {
@@ -189,6 +198,7 @@ impl WorkerCtx {
                     // constant-time-exposure guarantee (§3).
                     if variant == Variant::UsLcws && w.targeted.load(Ordering::Relaxed) {
                         fault::point(Site::TargetedPoll);
+                        trace::record(trace::EventKind::TargetedPoll, 0);
                         w.targeted.store(false, Ordering::Relaxed);
                         metrics::bump(Counter::ExposureRequest);
                         if d.update_public_bottom(variant.exposure_policy()) > 0 {
@@ -226,16 +236,24 @@ impl WorkerCtx {
         let victim_idx = self.random_victim(p);
         let victim = &pool.workers[victim_idx];
         match &victim.deque {
-            AnyDeque::Abp(d) => d.pop_top().success(),
+            AnyDeque::Abp(d) => {
+                let taken = d.pop_top().success();
+                if taken.is_some() {
+                    trace::record(trace::EventKind::StealOk, victim_idx as u32);
+                }
+                taken
+            }
             AnyDeque::Split(d) => match d.pop_top() {
                 Steal::Ok(task) => {
+                    trace::record(trace::EventKind::StealOk, victim_idx as u32);
                     // Stealing removed a task from the victim's public part:
                     // future thieves may request exposure again.
                     victim.targeted.store(false, Ordering::Relaxed);
                     Some(task)
                 }
                 Steal::PrivateWork => {
-                    self.notify_victim(victim, d);
+                    trace::record(trace::EventKind::StealPrivate, victim_idx as u32);
+                    self.notify_victim(victim_idx, victim, d);
                     None
                 }
                 Steal::Empty | Steal::Abort => None,
@@ -244,7 +262,12 @@ impl WorkerCtx {
     }
 
     /// The per-variant notification rule for a `PRIVATE_WORK` answer.
-    fn notify_victim(&self, victim: &WorkerShared, deque: &crate::deque::SplitDeque) {
+    fn notify_victim(
+        &self,
+        victim_idx: usize,
+        victim: &WorkerShared,
+        deque: &crate::deque::SplitDeque,
+    ) {
         match self.variant() {
             // Listing 1 line 22: flag only; the victim polls it.
             Variant::UsLcws => victim.targeted.store(true, Ordering::Relaxed),
@@ -254,14 +277,14 @@ impl WorkerCtx {
             Variant::Signal | Variant::SignalHalf => {
                 if !victim.targeted.load(Ordering::Relaxed) {
                     victim.targeted.store(true, Ordering::Relaxed);
-                    self.signal_or_flag(victim);
+                    self.signal_or_flag(victim_idx, victim);
                 }
             }
             // §4.1.1 adds `has_two_tasks()` to the notification condition.
             Variant::SignalConservative => {
                 if !victim.targeted.load(Ordering::Relaxed) && deque.has_two_tasks() {
                     victim.targeted.store(true, Ordering::Relaxed);
-                    self.signal_or_flag(victim);
+                    self.signal_or_flag(victim_idx, victim);
                 }
             }
             Variant::Ws => unreachable!("WS uses the ABP deque"),
@@ -272,8 +295,13 @@ impl WorkerCtx {
     /// user-space `fallback_expose` flag when `pthread_kill` fails (after
     /// its capped retry). The request is never silently dropped: the victim
     /// polls the flag at its next task boundary.
-    fn signal_or_flag(&self, victim: &WorkerShared) {
+    fn signal_or_flag(&self, victim_idx: usize, victim: &WorkerShared) {
+        // Timestamp *before* pthread_kill: the victim's HandlerEntry minus
+        // this record is the true signal-delivery latency.
+        trace::record(trace::EventKind::SignalSend, victim_idx as u32);
         if signal::notify(victim.pthread.load(Ordering::Acquire)).is_err() {
+            trace::record(trace::EventKind::SignalSendFailed, victim_idx as u32);
+            trace::record(trace::EventKind::FallbackReroute, victim_idx as u32);
             victim.fallback_expose.store(true, Ordering::Relaxed);
             metrics::bump(Counter::SignalFallbackFlag);
             // The victim may be between task boundaries for a while and
@@ -336,6 +364,7 @@ impl WorkerCtx {
         let ptr_b = job_b.as_job_ptr();
         if self.try_push_job(ptr_b).is_err() {
             metrics::bump(Counter::OverflowInline);
+            trace::record(trace::EventKind::OverflowInline, 0);
             // Nobody else ever saw `job_b`: run both closures inline with
             // the same semantics as the out-of-pool sequential path.
             let ra = a();
@@ -461,6 +490,11 @@ impl Drop for CtxGuard<'_> {
         if self.ctx.variant().uses_signals() {
             unsafe { signal::set_handler_ctx(ptr::null()) };
         }
+        // Disarm after the handler ctx, mirroring install order.
+        #[cfg(feature = "trace")]
+        unsafe {
+            trace::set_ring(ptr::null())
+        };
         CURRENT.with(|c| c.set(ptr::null()));
     }
 }

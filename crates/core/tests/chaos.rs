@@ -84,11 +84,52 @@ fn forced_signal_failure_storm_completes_via_flag_fallback() {
         guard.fires(Site::SignalSend) > 0,
         "a 4-thread grain-1 run must attempt notifications"
     );
-    // Every send failed, and every failure was rerouted, not dropped.
-    assert_eq!(m.signal_send_failed(), m.signals_sent(), "{m}");
+    // Every send failed: nothing was delivered, every attempt is accounted
+    // as a failure, and every failure was rerouted, not dropped.
+    assert_eq!(m.signals_sent(), 0, "no send succeeded, none may count: {m}");
+    assert_eq!(m.signal_send_failed(), m.signal_send_attempts(), "{m}");
     assert!(
         m.signal_fallback_flag() > 0,
         "failures must arm the fallback flag: {m}"
+    );
+}
+
+/// Accounting regression for the signal-path metrics fix: with roughly
+/// half of all `pthread_kill`s forced to fail, `signals_sent` must count
+/// only the successful deliveries, and every attempt must land in exactly
+/// one of the two outcome counters (no ESRCH retry exists and a live
+/// target never EAGAINs, so the attempt ledger balances exactly).
+#[test]
+fn signal_send_accounting_balances_under_partial_failure() {
+    let _g = lock();
+    let guard = install(
+        FaultPlan::new(0x51_6AA1).with(Site::SignalSend, SiteAction::fail_always().one_in(2)),
+    );
+    let m = run_with_timeout(60, || {
+        let pool = PoolBuilder::new(Variant::Signal).threads(4).build();
+        let (_, m) = pool.run_measured(|| {
+            par_for_grain(0..1 << 14, 1, |i| {
+                std::hint::black_box(i);
+            });
+        });
+        m
+    });
+    assert!(
+        guard.fires(Site::SignalSend) > 0,
+        "the storm must actually fail some sends"
+    );
+    assert!(
+        m.signal_send_failed() > 0,
+        "forced failures must be counted: {m}"
+    );
+    assert!(
+        m.signals_sent() > 0,
+        "the un-failed half must still deliver: {m}"
+    );
+    assert_eq!(
+        m.signals_sent() + m.signal_send_failed(),
+        m.signal_send_attempts(),
+        "every attempt must resolve to exactly one outcome: {m}"
     );
 }
 

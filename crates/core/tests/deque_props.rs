@@ -277,6 +277,19 @@ proptest! {
     }
 
     #[test]
+    fn double2int_agrees_with_round_over_valid_domain(x in 0.0f64..2_147_483_647.5) {
+        // The paper's §4.1.2 ablation claims the bit trick agrees with
+        // rounding; precisely, it is IEEE round-to-nearest-even, so it
+        // matches `round_ties_even` everywhere in the valid domain and
+        // plain `round` (half-away-from-zero) everywhere off the ties.
+        let got = lcws_core::double2int(x);
+        prop_assert_eq!(got, x.round_ties_even() as i32);
+        if x.fract() != 0.5 {
+            prop_assert_eq!(got, x.round() as i32);
+        }
+    }
+
+    #[test]
     fn double2int_rounds_half_to_even(r in 0u32..100_000) {
         let x = r as f64 / 2.0;
         let got = lcws_core::double2int(x);

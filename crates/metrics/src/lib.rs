@@ -94,6 +94,12 @@ pub enum Counter {
     /// failure). Always zero unless the `faultpoints` feature of
     /// `lcws-core` is enabled and a plan is installed.
     FaultInjected = 19,
+    /// Individual `pthread_kill` invocations, successful or not, including
+    /// EAGAIN re-sends. The paper's Figure 8 counts *deliveries*
+    /// ([`Counter::SignalSent`]); this counts the attempts behind them, so
+    /// `signal_send_attempts ≥ signals_sent + signal_send_failed`, with
+    /// equality when no EAGAIN retry was needed.
+    SignalSendAttempt = 20,
 }
 
 /// All counter kinds, in discriminant order.
@@ -118,10 +124,11 @@ pub const COUNTER_KINDS: [Counter; NUM_COUNTERS] = [
     Counter::SignalSendFailed,
     Counter::SignalFallbackFlag,
     Counter::FaultInjected,
+    Counter::SignalSendAttempt,
 ];
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 20;
+pub const NUM_COUNTERS: usize = 21;
 
 impl Counter {
     /// Short, stable name used in CSV headers.
@@ -147,6 +154,7 @@ impl Counter {
             Counter::SignalSendFailed => "signal_send_failed",
             Counter::SignalFallbackFlag => "signal_fallback_flag",
             Counter::FaultInjected => "faults_injected",
+            Counter::SignalSendAttempt => "signal_send_attempts",
         }
     }
 }
@@ -343,6 +351,11 @@ impl Snapshot {
     /// `pthread_kill` notifications that failed after the capped retry.
     pub fn signal_send_failed(&self) -> u64 {
         self.get(Counter::SignalSendFailed)
+    }
+
+    /// Raw `pthread_kill` invocations, including EAGAIN re-sends.
+    pub fn signal_send_attempts(&self) -> u64 {
+        self.get(Counter::SignalSendAttempt)
     }
 
     /// Failed notifications rerouted through the `targeted`-flag fallback.

@@ -4,8 +4,10 @@
 //! the workspace vendors the *exact* subset of libc it uses: POSIX signal
 //! installation (`sigaction`) and per-thread signal delivery
 //! (`pthread_self` / `pthread_kill`), which the signal-based LCWS
-//! schedulers are built on. The declarations below bind directly to the
-//! system C library and use the glibc x86_64/aarch64 Linux ABI layouts.
+//! schedulers are built on, plus the monotonic clock (`clock_gettime`)
+//! that timestamps the async-signal-safe trace layer. The declarations
+//! below bind directly to the system C library and use the glibc
+//! x86_64/aarch64 Linux ABI layouts.
 //!
 //! Only Linux is supported — exactly like the upstream paper artifact,
 //! which also relies on Linux signal semantics (see DESIGN.md §2).
@@ -14,8 +16,14 @@
 #![no_std]
 
 pub type c_int = i32;
+pub type c_long = i64;
 pub type c_ulong = u64;
 pub type pthread_t = c_ulong;
+pub type clockid_t = c_int;
+pub type time_t = c_long;
+
+/// Opaque C `void` for pointer parameters (mirrors `core::ffi::c_void`).
+pub use core::ffi::c_void;
 
 /// glibc `sigset_t`: 1024 bits.
 #[repr(C)]
@@ -34,8 +42,34 @@ pub struct sigaction {
     pub sa_restorer: Option<unsafe extern "C" fn()>,
 }
 
+/// glibc `siginfo_t` (Linux): 128 bytes; only the three leading fields are
+/// laid out by name, the remainder is the kernel's union payload.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct siginfo_t {
+    pub si_signo: c_int,
+    pub si_errno: c_int,
+    pub si_code: c_int,
+    _pad: [c_int; 29],
+}
+
+/// `struct timespec` (glibc 64-bit layout).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
 /// Restart interruptible syscalls instead of failing them with `EINTR`.
 pub const SA_RESTART: c_int = 0x1000_0000;
+/// The handler is the three-argument `sa_sigaction` form; the kernel passes
+/// `siginfo_t` and the interrupted context. Registering through the
+/// `sa_sigaction` field without this flag relies on the Linux union layout.
+pub const SA_SIGINFO: c_int = 0x0000_0004;
+/// Monotonic system-wide clock (`clock_gettime`); async-signal-safe per
+/// POSIX.1-2008.
+pub const CLOCK_MONOTONIC: clockid_t = 1;
 /// User-defined signal 1 (Linux, non-MIPS/non-SPARC value).
 pub const SIGUSR1: c_int = 10;
 /// No such process/thread — `pthread_kill` on an exited target.
@@ -50,4 +84,5 @@ extern "C" {
     pub fn sigemptyset(set: *mut sigset_t) -> c_int;
     pub fn pthread_self() -> pthread_t;
     pub fn pthread_kill(thread: pthread_t, sig: c_int) -> c_int;
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
 }

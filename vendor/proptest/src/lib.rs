@@ -172,6 +172,22 @@ pub mod strategy {
         )*};
     }
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            // 53-bit uniform in [0, 1), scaled into the half-open range;
+            // clamp the rare upward rounding at the top edge back inside.
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let x = self.start + unit * (self.end - self.start);
+            if x >= self.end {
+                self.start
+            } else {
+                x
+            }
+        }
+    }
 }
 
 pub mod arbitrary {
