@@ -6,7 +6,9 @@
 //! after Dechev et al.). The two `u32` halves are packed into one `u64` so a
 //! plain `AtomicU64` compare-and-swap updates them together.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+use crate::model::shim::{self, AtomicU64};
 
 /// Packed `{tag, top}` value. `top` lives in the low 32 bits so that the
 /// common "bump top by one" update is an add on the raw word.
@@ -58,13 +60,17 @@ impl Age {
 }
 
 /// An atomic [`Age`] cell.
+///
+/// Backed by the [`crate::model::shim`] atomic so that, under the opt-in
+/// `model` feature, every `age` access is a scheduling point of the
+/// interleaving explorer; the default build is a plain `AtomicU64`.
 #[derive(Debug)]
 pub struct AtomicAge(AtomicU64);
 
 impl AtomicAge {
     /// New cell holding [`Age::ZERO`].
     pub fn new() -> Self {
-        AtomicAge(AtomicU64::new(Age::ZERO.pack()))
+        AtomicAge(shim::named_u64(Age::ZERO.pack(), "age"))
     }
 
     /// Load with the given ordering.

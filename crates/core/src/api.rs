@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 
 use crate::job::HeapJob;
 use crate::sleep::{IdleAction, IdleBackoff, IdlePolicy};
-use crate::worker::{current_ctx, WorkerCtx};
+use crate::worker::{current_ctx, StealAttempt, WorkerCtx};
 
 /// Run `a` and `b` potentially in parallel, returning both results.
 ///
@@ -212,16 +212,23 @@ where
     });
     while sc.pending.load(Ordering::Acquire) != 0 {
         debug_assert!(!ctx.is_null(), "pending scope tasks require a pool");
-        let worked = unsafe { help_one(&*ctx) };
-        if worked {
-            backoff.reset();
-        } else {
-            metrics::bump(Counter::IdleIter);
-            match backoff.next() {
-                IdleAction::Park => unsafe {
-                    (*ctx).park_until(|| sc.pending.load(Ordering::Acquire) == 0)
-                },
-                action => IdleBackoff::relax(action),
+        match unsafe { help_one(&*ctx) } {
+            HelpOutcome::Ran => backoff.reset(),
+            HelpOutcome::Contended => {
+                // A steal lost its race on a non-empty victim: work exists,
+                // so stay hot instead of escalating toward a park.
+                metrics::bump(Counter::IdleIter);
+                backoff.reset();
+                std::hint::spin_loop();
+            }
+            HelpOutcome::Idle => {
+                metrics::bump(Counter::IdleIter);
+                match backoff.next() {
+                    IdleAction::Park => unsafe {
+                        (*ctx).park_until(|| sc.pending.load(Ordering::Acquire) == 0)
+                    },
+                    action => IdleBackoff::relax(action),
+                }
             }
         }
     }
@@ -237,14 +244,29 @@ where
     }
 }
 
-/// Try to acquire and run one task (local first, then steal). Returns
-/// whether anything ran.
-unsafe fn help_one(ctx: &WorkerCtx) -> bool {
-    if let Some(job) = ctx.acquire_local().or_else(|| ctx.steal_once()) {
+/// What one round of helping accomplished.
+enum HelpOutcome {
+    /// A task ran to completion.
+    Ran,
+    /// Nothing ran, but a steal aborted on a non-empty victim — work exists.
+    Contended,
+    /// Nothing visible anywhere.
+    Idle,
+}
+
+/// Try to acquire and run one task (local first, then steal).
+unsafe fn help_one(ctx: &WorkerCtx) -> HelpOutcome {
+    if let Some(job) = ctx.acquire_local() {
         ctx.execute(job);
-        true
-    } else {
-        false
+        return HelpOutcome::Ran;
+    }
+    match ctx.steal_once() {
+        StealAttempt::Taken(job) => {
+            ctx.execute(job);
+            HelpOutcome::Ran
+        }
+        StealAttempt::Contended => HelpOutcome::Contended,
+        StealAttempt::NoWork => HelpOutcome::Idle,
     }
 }
 

@@ -11,15 +11,18 @@
 //! bounded-array deque of Arora–Blumofe–Plaxton with a tagged `age` word),
 //! with the fence/CAS placement preserved so the counted operations match.
 
-use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
 
 use crossbeam_utils::CachePadded;
 use lcws_metrics as metrics;
 
-use crate::age::AtomicAge;
+use crate::age::{Age, AtomicAge};
 use crate::deque::{DequeFull, Steal};
 use crate::fault::{self, Site};
 use crate::job::Job;
+// Index/age words go through the shim atomics: plain std atomics in normal
+// builds, DFS scheduling points under the opt-in `model` feature.
+use crate::model::shim::{self, AtomicPtr, AtomicU32};
 use crate::trace;
 
 /// Bounded ABP deque: `age = {tag, top}` at the top, `bot` at the bottom.
@@ -41,7 +44,7 @@ impl AbpDeque {
             .collect();
         AbpDeque {
             age: CachePadded::new(AtomicAge::new()),
-            bot: CachePadded::new(AtomicU32::new(0)),
+            bot: CachePadded::new(shim::named_u32(0, "bot")),
             slots,
         }
     }
@@ -62,7 +65,7 @@ impl AbpDeque {
         }
         self.slots[b as usize].store(task, Ordering::Release);
         self.bot.store(b + 1, Ordering::Release);
-        metrics::fence_seq_cst();
+        shim::fence_seq_cst();
         metrics::bump(metrics::Counter::Push);
         trace::record(trace::EventKind::Push, b + 1);
         Ok(())
@@ -91,7 +94,7 @@ impl AbpDeque {
         self.bot.store(b1, Ordering::Relaxed);
         // The expensive fence WS pays on every local pop (cf. Attiya et
         // al.'s lower bound, discussed in the paper's introduction).
-        metrics::fence_seq_cst();
+        shim::fence_seq_cst();
         let task = self.slots[b1 as usize].load(Ordering::Relaxed);
         let old_age = self.age.load(Ordering::Relaxed);
         if b1 > old_age.top {
@@ -127,6 +130,12 @@ impl AbpDeque {
         if b > old_age.top {
             let task = self.slots[old_age.top as usize].load(Ordering::Acquire);
             let new_age = old_age.with_top_incremented();
+            // Forced fire: lose the CAS race outright (chaos tests use this
+            // to exercise the Abort path deterministically).
+            if fault::fail_at(Site::PopTop) {
+                metrics::bump(metrics::Counter::StealAbort);
+                return Steal::Abort;
+            }
             metrics::record_cas();
             if self
                 .age
@@ -136,9 +145,21 @@ impl AbpDeque {
                 metrics::bump(metrics::Counter::StealOk);
                 return Steal::Ok(task);
             }
+            metrics::bump(metrics::Counter::StealAbort);
             return Steal::Abort;
         }
         Steal::Empty
+    }
+
+    /// Raw `(bot, age)` snapshot. For tests and the model checker, which
+    /// assert the canonical reset to `(0, top = 0)`; not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub fn raw_state(&self) -> (u32, Age) {
+        (
+            self.bot.load(Ordering::Relaxed),
+            self.age.load(Ordering::Relaxed),
+        )
     }
 
     /// Is the deque observably empty (racy)?

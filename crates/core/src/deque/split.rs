@@ -38,17 +38,18 @@
 //! decrementing, which no handler interleaving can invalidate because the
 //! handler never modifies `bot` and never exposes past it.
 
-use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
 
 use crossbeam_utils::CachePadded;
 use lcws_metrics as metrics;
 
-#[cfg(test)]
-use crate::age::Age;
-use crate::age::AtomicAge;
+use crate::age::{Age, AtomicAge};
 use crate::deque::{DequeFull, Steal};
 use crate::fault::{self, Site};
 use crate::job::Job;
+// All index/age words go through the shim atomics: plain std atomics in
+// normal builds, DFS scheduling points under the opt-in `model` feature.
+use crate::model::shim::{self, AtomicPtr, AtomicU32};
 use crate::trace;
 
 /// How the owner's `pop_bottom` guards against concurrent exposure from a
@@ -134,8 +135,8 @@ impl SplitDeque {
             .collect();
         SplitDeque {
             age: CachePadded::new(AtomicAge::new()),
-            public_bot: CachePadded::new(AtomicU32::new(0)),
-            bot: CachePadded::new(AtomicU32::new(0)),
+            public_bot: CachePadded::new(shim::named_u32(0, "public_bot")),
+            bot: CachePadded::new(shim::named_u32(0, "bot")),
             slots,
         }
     }
@@ -244,7 +245,7 @@ impl SplitDeque {
         self.public_bot.store(pb, Ordering::Relaxed);
         // Fence #1 (Listing 2 line 12): publish the decrement to thieves and
         // read an up-to-date `age`.
-        metrics::fence_seq_cst();
+        shim::fence_seq_cst();
         let task = self.slots[pb as usize].load(Ordering::Relaxed);
         let old_age = self.age.load(Ordering::Relaxed);
         if pb > old_age.top {
@@ -286,7 +287,7 @@ impl SplitDeque {
         // Fence #2 (Listing 2 line 27): thieves must not observe the new
         // `age` together with the old `public_bot`, which could double-run
         // a task.
-        metrics::fence_seq_cst();
+        shim::fence_seq_cst();
         result
     }
 
@@ -304,8 +305,13 @@ impl SplitDeque {
         if pb > old_age.top {
             let task = self.slots[old_age.top as usize].load(Ordering::Relaxed);
             let new_age = old_age.with_top_incremented();
-            // Stretch the read-age → CAS window thieves race within.
-            fault::point(Site::PopTop);
+            // Stretch the read-age → CAS window thieves race within; a
+            // forced fire models losing the race outright (the chaos tests
+            // use it to exercise the Abort path deterministically).
+            if fault::fail_at(Site::PopTop) {
+                metrics::bump(metrics::Counter::StealAbort);
+                return Steal::Abort;
+            }
             metrics::record_cas();
             if self
                 .age
@@ -315,6 +321,7 @@ impl SplitDeque {
                 metrics::bump(metrics::Counter::StealOk);
                 return Steal::Ok(task);
             }
+            metrics::bump(metrics::Counter::StealAbort);
             return Steal::Abort;
         }
         // Public part empty: report whether private work exists so the thief
@@ -411,13 +418,21 @@ impl SplitDeque {
         b <= top
     }
 
-    #[cfg(test)]
-    pub(crate) fn raw_indices(&self) -> (u32, u32, Age) {
+    /// Raw `(bot, public_bot, age)` snapshot. For tests and the model
+    /// checker, which assert the canonical `(0, 0)` empty-state repair;
+    /// not part of the stable API.
+    #[doc(hidden)]
+    pub fn raw_state(&self) -> (u32, u32, Age) {
         (
             self.bot.load(Ordering::Relaxed),
             self.public_bot.load(Ordering::Relaxed),
             self.age.load(Ordering::Relaxed),
         )
+    }
+
+    #[cfg(test)]
+    pub(crate) fn raw_indices(&self) -> (u32, u32, Age) {
+        self.raw_state()
     }
 }
 

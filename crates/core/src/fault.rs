@@ -72,6 +72,9 @@ pub enum Site {
     /// seq-cst fences where thieves race the owner for the last task.
     PopPublicBottom = 2,
     /// Thief `pop_top`, fired again between the `age` read and the CAS.
+    /// Failable at that second site: a forced fire makes the thief lose
+    /// the CAS race outright (`Steal::Abort`), so chaos tests can exercise
+    /// the contention path deterministically.
     PopTop = 3,
     /// `update_public_bottom` exposure (possibly in signal-handler
     /// context: spin delays only).

@@ -68,6 +68,7 @@ mod api;
 pub mod deque;
 pub mod fault;
 mod job;
+pub mod model;
 mod pool;
 mod signal;
 mod sleep;

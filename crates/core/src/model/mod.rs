@@ -1,0 +1,92 @@
+//! `lcws-model`: a deterministic interleaving explorer for the deque
+//! protocols (opt-in via the `model` cargo feature, mirroring
+//! `faultpoints` and `trace`).
+//!
+//! ## Why
+//!
+//! The paper's §4 correctness argument hinges on one subtlety: a `SIGUSR1`
+//! handler may run `update_public_bottom` between **any two instructions**
+//! of the owner's `pop_bottom`, and only the `--bot < public_bot` trick
+//! plus the right (pop-mode × exposure-policy) pairing prevents a lost or
+//! double-run task. Stress tests sample a handful of interleavings; this
+//! module *enumerates* them.
+//!
+//! ## How
+//!
+//! The deques perform every atomic access through the shim types in
+//! [`shim`]. With the feature off, the shims are type aliases for
+//! `std::sync::atomic` plus `#[inline(always)]` passthrough constructors —
+//! release codegen is unchanged. With the feature on, each access first
+//! parks the calling thread on a central scheduler that grants exactly one
+//! thread at a time, so a whole execution is a deterministic sequence of
+//! scheduler decisions. [`explore`] then drives a depth-first search over
+//! that decision tree: replay a recorded prefix, extend it with
+//! first-choice decisions to completion, check the user's invariants,
+//! backtrack.
+//!
+//! ## The signal model (what loom lacks)
+//!
+//! Besides picking which thread's atomic access runs next, the scheduler
+//! has one extra choice at every point where the handler's target thread
+//! is parked: **deliver the signal now**. Delivery runs the handler
+//! closure inline on the target thread — before the access the target was
+//! about to perform — which models a full `SIGUSR1` handler executing
+//! between any two of the owner's atomic accesses. The handler's own
+//! atomic accesses remain scheduling points, so other threads (a thief's
+//! CAS, say) interleave with the handler body exactly as real preemption
+//! allows. One execution delivers the handler at most once; a script that
+//! needs n deliveries models them as n explored executions of smaller
+//! scripts, which keeps the state space tractable.
+//!
+//! ## Scope and abstractions (see DESIGN.md §5c)
+//!
+//! * Interleaving (sequentially-consistent) semantics: every access reads
+//!   the globally latest value. Weak-memory reorderings are *not*
+//!   explored; the checker targets the paper's algorithmic races, not the
+//!   fence placement (which `split.rs` documents separately).
+//! * Task-slot (`AtomicPtr`) accesses pass through unscheduled: slots are
+//!   written during single-threaded setup in every script, so their reads
+//!   commute with everything — removing them from the schedule loses no
+//!   behaviours while shrinking the tree by orders of magnitude.
+//! * Threads not registered with the scheduler (the explorer thread doing
+//!   setup/drain, ordinary test threads) pass through the shims directly.
+
+pub(crate) mod shim;
+
+#[cfg(feature = "model")]
+mod dfs;
+
+#[cfg(feature = "model")]
+pub use dfs::{explore, pause, Execution, Options, Report, Violation};
+
+/// Explicit scheduling point with no atomic access attached. Model-thread
+/// scripts use it to let the scheduler act (e.g. deliver a pending signal)
+/// at a program point that performs no atomic access of its own — before a
+/// protocol's first access or after its last. No-op when the `model`
+/// feature is off or the calling thread is not a registered model thread.
+#[cfg(not(feature = "model"))]
+#[inline(always)]
+pub fn pause() {}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(not(feature = "model"))]
+    #[test]
+    fn shims_are_std_aliases_when_model_is_off() {
+        use std::any::TypeId;
+        // The zero-cost claim, statically: with the feature off the shim
+        // types *are* the std atomics, so deque codegen cannot differ.
+        assert_eq!(
+            TypeId::of::<super::shim::AtomicU32>(),
+            TypeId::of::<std::sync::atomic::AtomicU32>()
+        );
+        assert_eq!(
+            TypeId::of::<super::shim::AtomicU64>(),
+            TypeId::of::<std::sync::atomic::AtomicU64>()
+        );
+        assert_eq!(
+            TypeId::of::<super::shim::AtomicPtr<u8>>(),
+            TypeId::of::<std::sync::atomic::AtomicPtr<u8>>()
+        );
+    }
+}

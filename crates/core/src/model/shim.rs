@@ -1,0 +1,158 @@
+//! Shim atomic types the deques are written against.
+//!
+//! Feature off: type aliases for `std::sync::atomic` plus
+//! `#[inline(always)]` passthrough helpers — zero cost, identical codegen
+//! (asserted by a `TypeId` test in the parent module).
+//!
+//! Feature on: `AtomicU32`/`AtomicU64` become wrappers that route every
+//! access through the DFS scheduler in `super::dfs` before performing the
+//! real operation, and remember a short field name so counterexample
+//! traces read like the paper's listings (`owner: store bot <- 0`).
+//!
+//! `AtomicPtr` stays a std alias in both configurations: it only carries
+//! task slots, which every model script writes during single-threaded
+//! setup — scheduling their reads would grow the tree without adding
+//! behaviours (see the parent module docs).
+
+pub use std::sync::atomic::AtomicPtr;
+
+#[cfg(not(feature = "model"))]
+mod imp {
+    pub use std::sync::atomic::{AtomicU32, AtomicU64};
+
+    /// Passthrough: a plain `AtomicU32`; the name only matters under
+    /// `model`, where it labels trace lines.
+    #[inline(always)]
+    pub fn named_u32(value: u32, _name: &'static str) -> AtomicU32 {
+        AtomicU32::new(value)
+    }
+
+    /// Passthrough: a plain `AtomicU64`.
+    #[inline(always)]
+    pub fn named_u64(value: u64, _name: &'static str) -> AtomicU64 {
+        AtomicU64::new(value)
+    }
+
+    /// The paper's `atomic_thread_fence(seq_cst)`, with its metrics
+    /// accounting (this is exactly `lcws_metrics::fence_seq_cst`).
+    #[inline(always)]
+    pub fn fence_seq_cst() {
+        lcws_metrics::fence_seq_cst();
+    }
+}
+
+#[cfg(feature = "model")]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    use super::super::dfs;
+
+    /// Format a packed `{tag, top}` or plain word for trace lines: the
+    /// only u64 in the protocols is the `age` word, whose halves are more
+    /// readable separately.
+    fn fmt64(v: u64) -> String {
+        format!("{}:{}", v >> 32, v as u32)
+    }
+
+    /// A `u32` atomic whose accesses are DFS scheduling points.
+    #[derive(Debug)]
+    pub struct AtomicU32 {
+        inner: std::sync::atomic::AtomicU32,
+        name: &'static str,
+    }
+
+    impl AtomicU32 {
+        #[inline]
+        pub fn load(&self, order: Ordering) -> u32 {
+            dfs::access(
+                || self.inner.load(order),
+                |v| format!("load {} -> {v}", self.name),
+            )
+        }
+
+        #[inline]
+        pub fn store(&self, value: u32, order: Ordering) {
+            dfs::access(
+                || self.inner.store(value, order),
+                |_| format!("store {} <- {value}", self.name),
+            )
+        }
+    }
+
+    /// A `u64` atomic whose accesses are DFS scheduling points.
+    #[derive(Debug)]
+    pub struct AtomicU64 {
+        inner: std::sync::atomic::AtomicU64,
+        name: &'static str,
+    }
+
+    impl AtomicU64 {
+        #[inline]
+        pub fn load(&self, order: Ordering) -> u64 {
+            dfs::access(
+                || self.inner.load(order),
+                |v| format!("load {} -> {}", self.name, fmt64(*v)),
+            )
+        }
+
+        #[inline]
+        pub fn store(&self, value: u64, order: Ordering) {
+            dfs::access(
+                || self.inner.store(value, order),
+                |_| format!("store {} <- {}", self.name, fmt64(value)),
+            )
+        }
+
+        #[inline]
+        pub fn compare_exchange(
+            &self,
+            current: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            dfs::access(
+                || self.inner.compare_exchange(current, new, success, failure),
+                |r| match r {
+                    Ok(_) => format!("cas {} {} -> {} ok", self.name, fmt64(current), fmt64(new)),
+                    Err(seen) => format!(
+                        "cas {} {} -> {} FAILED (saw {})",
+                        self.name,
+                        fmt64(current),
+                        fmt64(new),
+                        fmt64(*seen)
+                    ),
+                },
+            )
+        }
+    }
+
+    /// Named constructor (the model-side twin of the passthrough helper).
+    #[inline]
+    pub fn named_u32(value: u32, name: &'static str) -> AtomicU32 {
+        AtomicU32 {
+            inner: std::sync::atomic::AtomicU32::new(value),
+            name,
+        }
+    }
+
+    /// Named constructor for the `age` word.
+    #[inline]
+    pub fn named_u64(value: u64, name: &'static str) -> AtomicU64 {
+        AtomicU64 {
+            inner: std::sync::atomic::AtomicU64::new(value),
+            name,
+        }
+    }
+
+    /// Seq-cst fence: a scheduling point under the model (the fence itself
+    /// is a no-op in interleaving semantics, but its *position* between
+    /// accesses is part of the protocol, so it shows up in traces), plus
+    /// the normal metrics accounting.
+    #[inline]
+    pub fn fence_seq_cst() {
+        dfs::access(lcws_metrics::fence_seq_cst, |_| "fence(seq_cst)".into())
+    }
+}
+
+pub use imp::{fence_seq_cst, named_u32, named_u64, AtomicU32, AtomicU64};

@@ -513,4 +513,57 @@ mod tests {
             "second run must not inherit first run's counters"
         );
     }
+
+    /// Regression: §3's "`targeted` is reset when a task is removed from
+    /// the deque's public part" applies to USLCWS too. The reset used to be
+    /// gated on `uses_signals()`, leaving the flag stuck for USLCWS after a
+    /// public pop — thieves would then skip this victim (Listing 1 line 21
+    /// checks `!targeted`) even though it still had private work.
+    #[test]
+    fn uslcws_targeted_resets_on_public_pop() {
+        let pool = PoolBuilder::new(Variant::UsLcws).threads(1).build();
+        let ctx = WorkerCtx::new(&pool.inner, 0);
+        let _guard = ctx.install();
+        let w = &pool.inner.workers[0];
+        let AnyDeque::Split(d) = &w.deque else {
+            panic!("USLCWS uses the split deque");
+        };
+        // One task, made public (as if a poll served an exposure request),
+        // with a thief's exposure request still pending.
+        d.push_bottom(8 as *mut crate::job::Job);
+        d.update_public_bottom(crate::deque::ExposurePolicy::One);
+        w.targeted.store(true, Ordering::Relaxed);
+        // Private part empty → acquire_local falls through to
+        // pop_public_bottom.
+        let job = ctx.acquire_local();
+        assert_eq!(job, Some(8 as *mut crate::job::Job));
+        assert!(
+            !w.targeted.load(Ordering::Relaxed),
+            "public-part removal must reset `targeted` for USLCWS"
+        );
+    }
+
+    /// Regression: a thief that catches a victim slot before its worker
+    /// thread registered a pthread handle (the pre-spawn zero) must not
+    /// call `pthread_kill` on the sentinel — POSIX has no null pthread_t,
+    /// so that is undefined behaviour. The request reroutes through the
+    /// user-space `fallback_expose` flag instead.
+    #[test]
+    fn signal_to_unregistered_worker_reroutes_to_fallback() {
+        let pool = PoolBuilder::new(Variant::Signal).threads(2).build();
+        let victim = &pool.inner.workers[1];
+        // Simulate the pre-registration window.
+        victim.pthread.store(0, Ordering::Release);
+        let ctx = WorkerCtx::new(&pool.inner, 0);
+        let _guard = ctx.install();
+        ctx.signal_or_flag(1, victim);
+        assert!(
+            victim.fallback_expose.load(Ordering::Relaxed),
+            "zero-handle notification must set the fallback flag"
+        );
+        // The pool survives: the victim serves the flag at its next task
+        // boundary once a run restores its handle and feeds it work.
+        drop(_guard);
+        assert_eq!(pool.run(|| 21 * 2), 42);
+    }
 }

@@ -26,6 +26,19 @@ thread_local! {
     static CURRENT: Cell<*const WorkerCtx> = const { Cell::new(ptr::null()) };
 }
 
+/// Outcome of one steal iteration, separating "the victim provably held
+/// work an instant ago" from "nothing to steal". The distinction drives the
+/// idle backoff: contention must not escalate a thief toward parking.
+pub(crate) enum StealAttempt {
+    /// A task was stolen.
+    Taken(*mut Job),
+    /// The victim held work but this thief lost the race for it
+    /// (`Steal::Abort`): stay hot, the work is being fought over right now.
+    Contended,
+    /// Nothing stealable was found this iteration.
+    NoWork,
+}
+
 /// The current thread's worker context, or null outside pool runs.
 pub(crate) fn current_ctx() -> *const WorkerCtx {
     CURRENT.with(|c| c.get())
@@ -210,9 +223,13 @@ impl WorkerCtx {
                 }
                 if let Some(task) = d.pop_public_bottom() {
                     // A task left the public part: allow fresh notifications.
-                    if variant.uses_signals() {
-                        w.targeted.store(false, Ordering::Relaxed);
-                    }
+                    // §3/§4: `targeted` resets when "a task is removed from
+                    // the deque's public part" — for *every* split-deque
+                    // variant. USLCWS included: a stale flag here would make
+                    // thieves skip this victim while it drains its public
+                    // part, stranding the pending exposure request until the
+                    // next push.
+                    w.targeted.store(false, Ordering::Relaxed);
                     return Some(task);
                 }
                 if variant == Variant::UsLcws {
@@ -227,36 +244,44 @@ impl WorkerCtx {
     /// One iteration of the stealing phase (Listing 1 lines 20–23 /
     /// Listing 3): pick a random victim, try to steal, and send the
     /// per-variant work-exposure notification on `PRIVATE_WORK`.
-    pub(crate) fn steal_once(&self) -> Option<*mut Job> {
+    ///
+    /// `Steal::Abort` maps to [`StealAttempt::Contended`], **not** to
+    /// no-work: an abort proves the victim held a stealable task an
+    /// instant ago (another taker won the CAS), and folding it into the
+    /// empty outcome would walk contending thieves up the idle-backoff
+    /// ladder toward parking at the exact moment work is available.
+    pub(crate) fn steal_once(&self) -> StealAttempt {
         let pool = self.pool();
         let p = pool.workers.len();
         if p <= 1 {
-            return None;
+            return StealAttempt::NoWork;
         }
         let victim_idx = self.random_victim(p);
         let victim = &pool.workers[victim_idx];
         match &victim.deque {
-            AnyDeque::Abp(d) => {
-                let taken = d.pop_top().success();
-                if taken.is_some() {
+            AnyDeque::Abp(d) => match d.pop_top() {
+                Steal::Ok(task) => {
                     trace::record(trace::EventKind::StealOk, victim_idx as u32);
+                    StealAttempt::Taken(task)
                 }
-                taken
-            }
+                Steal::Abort => StealAttempt::Contended,
+                Steal::Empty | Steal::PrivateWork => StealAttempt::NoWork,
+            },
             AnyDeque::Split(d) => match d.pop_top() {
                 Steal::Ok(task) => {
                     trace::record(trace::EventKind::StealOk, victim_idx as u32);
                     // Stealing removed a task from the victim's public part:
                     // future thieves may request exposure again.
                     victim.targeted.store(false, Ordering::Relaxed);
-                    Some(task)
+                    StealAttempt::Taken(task)
                 }
                 Steal::PrivateWork => {
                     trace::record(trace::EventKind::StealPrivate, victim_idx as u32);
                     self.notify_victim(victim_idx, victim, d);
-                    None
+                    StealAttempt::NoWork
                 }
-                Steal::Empty | Steal::Abort => None,
+                Steal::Abort => StealAttempt::Contended,
+                Steal::Empty => StealAttempt::NoWork,
             },
         }
     }
@@ -293,22 +318,46 @@ impl WorkerCtx {
 
     /// Deliver a work-exposure request by signal, degrading to the
     /// user-space `fallback_expose` flag when `pthread_kill` fails (after
-    /// its capped retry). The request is never silently dropped: the victim
-    /// polls the flag at its next task boundary.
-    fn signal_or_flag(&self, victim_idx: usize, victim: &WorkerShared) {
+    /// its capped retry) **or** when the victim has no pthread handle yet.
+    /// The request is never silently dropped: the victim polls the flag at
+    /// its next task boundary.
+    ///
+    /// (`pub(crate)` for the pool regression tests; callers go through
+    /// `notify_victim`.)
+    pub(crate) fn signal_or_flag(&self, victim_idx: usize, victim: &WorkerShared) {
+        // A thief can race worker startup: `build` only returns once every
+        // helper registered its handle, but helpers that registered early
+        // can already steal — and find a victim whose slot still holds the
+        // pre-spawn zero value. pthread_t has no null value in POSIX;
+        // passing our sentinel 0 to pthread_kill is undefined (on glibc it
+        // dereferences the handle). Route the request through the
+        // user-space flag instead: the victim polls it at its first task
+        // boundary, so the request survives.
+        let handle = victim.pthread.load(Ordering::Acquire);
+        if handle == 0 {
+            trace::record(trace::EventKind::FallbackReroute, victim_idx as u32);
+            self.reroute_to_fallback(victim);
+            return;
+        }
         // Timestamp *before* pthread_kill: the victim's HandlerEntry minus
         // this record is the true signal-delivery latency.
         trace::record(trace::EventKind::SignalSend, victim_idx as u32);
-        if signal::notify(victim.pthread.load(Ordering::Acquire)).is_err() {
+        if signal::notify(handle).is_err() {
             trace::record(trace::EventKind::SignalSendFailed, victim_idx as u32);
             trace::record(trace::EventKind::FallbackReroute, victim_idx as u32);
-            victim.fallback_expose.store(true, Ordering::Relaxed);
-            metrics::bump(Counter::SignalFallbackFlag);
-            // The victim may be between task boundaries for a while and
-            // other thieves are gated by `targeted`; waking a sleeper keeps
-            // someone retrying in the meantime.
-            self.pool().sleep.wake_one();
+            self.reroute_to_fallback(victim);
         }
+    }
+
+    /// The degraded-notification path shared by the zero-handle guard and
+    /// the failed-send case.
+    fn reroute_to_fallback(&self, victim: &WorkerShared) {
+        victim.fallback_expose.store(true, Ordering::Relaxed);
+        metrics::bump(Counter::SignalFallbackFlag);
+        // The victim may be between task boundaries for a while and
+        // other thieves are gated by `targeted`; waking a sleeper keeps
+        // someone retrying in the meantime.
+        self.pool().sleep.wake_one();
     }
 
     /// Execute a job taken from a deque, with task accounting.
@@ -329,17 +378,32 @@ impl WorkerCtx {
             if finished() {
                 return;
             }
-            if let Some(job) = self.acquire_local().or_else(|| self.steal_once()) {
+            if let Some(job) = self.acquire_local() {
                 self.execute(job);
                 backoff.reset();
-            } else {
-                metrics::bump(Counter::IdleIter);
-                match backoff.next() {
-                    IdleAction::Park => self
-                        .pool()
-                        .sleep
-                        .park(self.index, || finished() || self.any_work_visible()),
-                    action => IdleBackoff::relax(action),
+                continue;
+            }
+            match self.steal_once() {
+                StealAttempt::Taken(job) => {
+                    self.execute(job);
+                    backoff.reset();
+                }
+                StealAttempt::Contended => {
+                    // Lost a race on a non-empty victim: work exists, so
+                    // retry hot instead of escalating toward a park.
+                    metrics::bump(Counter::IdleIter);
+                    backoff.reset();
+                    std::hint::spin_loop();
+                }
+                StealAttempt::NoWork => {
+                    metrics::bump(Counter::IdleIter);
+                    match backoff.next() {
+                        IdleAction::Park => self
+                            .pool()
+                            .sleep
+                            .park(self.index, || finished() || self.any_work_visible()),
+                        action => IdleBackoff::relax(action),
+                    }
                 }
             }
         }
@@ -427,17 +491,26 @@ impl WorkerCtx {
             if unsafe { (*ptr).is_done() } {
                 return;
             }
-            if let Some(job) = self.steal_once() {
-                self.execute(job);
-                backoff.reset();
-            } else {
-                metrics::bump(Counter::IdleIter);
-                match backoff.next() {
-                    IdleAction::Park => self.pool().sleep.park(self.index, || {
-                        let done = unsafe { (*ptr).is_done() };
-                        done || self.any_work_visible()
-                    }),
-                    action => IdleBackoff::relax(action),
+            match self.steal_once() {
+                StealAttempt::Taken(job) => {
+                    self.execute(job);
+                    backoff.reset();
+                }
+                StealAttempt::Contended => {
+                    // Work exists; stay hot (see `work_until`).
+                    metrics::bump(Counter::IdleIter);
+                    backoff.reset();
+                    std::hint::spin_loop();
+                }
+                StealAttempt::NoWork => {
+                    metrics::bump(Counter::IdleIter);
+                    match backoff.next() {
+                        IdleAction::Park => self.pool().sleep.park(self.index, || {
+                            let done = unsafe { (*ptr).is_done() };
+                            done || self.any_work_visible()
+                        }),
+                        action => IdleBackoff::relax(action),
+                    }
                 }
             }
         }

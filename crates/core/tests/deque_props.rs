@@ -276,6 +276,79 @@ proptest! {
         prop_assert!(deque.try_push_bottom(cookie(0)).is_ok());
     }
 
+    /// Arbitrary interleave scripts of the §4 protocol steps — SignalSafe
+    /// `pop_bottom` (with the scheduler's `pop_public_bottom` repair on a
+    /// miss), exposures under every policy, owner public pops, and thief
+    /// steals — driven over a seeded deque. Global accounting instead of a
+    /// step-by-step model: every pushed task is taken exactly once, and a
+    /// full drain always lands in the canonical empty state
+    /// `(bot, public_bot) = (0, 0)` with `age.top = 0`, leaving the deque
+    /// reusable.
+    #[test]
+    fn interleave_scripts_lose_nothing_and_repair_to_canonical(
+        seed in 0usize..12,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let deque = SplitDeque::new(256);
+        for i in 0..seed {
+            deque.push_bottom(cookie(i));
+        }
+        let mut next = seed;
+        let mut taken: Vec<usize> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Push => {
+                    deque.push_bottom(cookie(next));
+                    next += 1;
+                }
+                Op::PopBottom => {
+                    // The scheduler's acquire path: SignalSafe pop, then the
+                    // §4 repair/acquire through pop_public_bottom on a miss.
+                    if let Some(t) = deque.pop_bottom(PopBottomMode::SignalSafe) {
+                        taken.push(t as usize - 1);
+                    } else if let Some(t) = deque.pop_public_bottom() {
+                        taken.push(t as usize - 1);
+                    }
+                }
+                Op::PopPublicBottom => {
+                    // Contract: only when the private part is empty.
+                    if deque.private_len() == 0 {
+                        if let Some(t) = deque.pop_public_bottom() {
+                            taken.push(t as usize - 1);
+                        }
+                    }
+                }
+                Op::Expose(code) => {
+                    deque.update_public_bottom(policy_of(*code));
+                }
+                Op::StealTop => {
+                    if let Steal::Ok(t) = deque.pop_top() {
+                        taken.push(t as usize - 1);
+                    }
+                }
+            }
+        }
+        // Final drain, again exactly as the scheduler acquires.
+        loop {
+            if let Some(t) = deque.pop_bottom(PopBottomMode::SignalSafe) {
+                taken.push(t as usize - 1);
+            } else if let Some(t) = deque.pop_public_bottom() {
+                taken.push(t as usize - 1);
+            } else {
+                break;
+            }
+        }
+        taken.sort_unstable();
+        prop_assert_eq!(taken, (0..next).collect::<Vec<_>>(), "task lost or duplicated");
+        // Canonical §4 repair: a drained deque always reads (0, 0) indices
+        // and a reset top, whatever path emptied it.
+        let (bot, public_bot, age) = deque.raw_state();
+        prop_assert_eq!((bot, public_bot, age.top), (0, 0, 0));
+        // And it is immediately reusable from slot zero.
+        prop_assert!(deque.try_push_bottom(cookie(0)).is_ok());
+        prop_assert_eq!(deque.pop_bottom(PopBottomMode::SignalSafe), Some(cookie(0)));
+    }
+
     #[test]
     fn double2int_agrees_with_round_over_valid_domain(x in 0.0f64..2_147_483_647.5) {
         // The paper's §4.1.2 ablation claims the bit trick agrees with

@@ -1,0 +1,350 @@
+//! Exhaustive interleaving checks for the §4 owner/thief/handler races
+//! (`cargo test -p lcws-core --features model --test model`).
+//!
+//! Each scenario sets up a small deque script — push during single-threaded
+//! setup, then one owner pop round racing one thief steal, with the
+//! variant's exposure policy running either at an owner scheduling point
+//! (USLCWS-style synchronous polling) or as a signal handler the scheduler
+//! may inject between *any* two owner atomic accesses (the signal
+//! variants). The explorer enumerates every schedule; after each one we
+//! drain the deque on the (unscheduled) explorer thread and check
+//!
+//! 1. no task was lost or executed twice, and
+//! 2. the deque returned to the canonical empty state
+//!    (`bot == public_bot == 0` and `age.top == 0`) — the §4 `bot ← 0`
+//!    repair in `pop_public_bottom`.
+//!
+//! The five paper pairings (WS, USLCWS, Signal, Conservative, Half) must
+//! pass exhaustively; the known-unsound pairing `Standard` + `Half` must
+//! be *caught* as a double-take (negative test).
+
+#![cfg(feature = "model")]
+
+use std::sync::Mutex;
+
+use lcws_core::deque::{AbpDeque, ExposurePolicy, PopBottomMode, SplitDeque, Steal};
+use lcws_core::model::{explore, pause, Execution, Options, Report};
+use lcws_core::Job;
+
+/// Distinguishable non-null fake job pointers (never dereferenced).
+fn cookie(i: usize) -> *mut Job {
+    (i + 1) as *mut Job
+}
+
+fn uncookie(t: *mut Job) -> usize {
+    t as usize - 1
+}
+
+/// Sorted multiset check: everything taken during the execution plus
+/// everything drained afterwards must be exactly `0..ntasks`.
+fn check_no_loss_no_dup(mut all: Vec<usize>, ntasks: usize) -> Result<(), String> {
+    all.sort_unstable();
+    let expect: Vec<usize> = (0..ntasks).collect();
+    if all == expect {
+        Ok(())
+    } else {
+        Err(format!(
+            "task loss/duplication: took {all:?}, expected {expect:?}"
+        ))
+    }
+}
+
+/// Who runs `update_public_bottom` in the script.
+#[derive(Clone, Copy, PartialEq)]
+enum Exposer {
+    /// At an owner scheduling point before the pop (USLCWS's synchronous
+    /// poll — exposures cannot land inside `pop_bottom`).
+    Owner,
+    /// As a signal handler the scheduler may deliver between any two owner
+    /// accesses (the signal variants).
+    Handler,
+}
+
+/// One owner pop round vs one thief steal on a split deque, under the
+/// given (pop mode × exposure policy × exposure mechanism) triple.
+fn check_split(
+    mode: PopBottomMode,
+    policy: ExposurePolicy,
+    exposer: Exposer,
+    ntasks: usize,
+) -> Report {
+    explore(Options::default(), || {
+        let d = SplitDeque::new(8);
+        for i in 0..ntasks {
+            d.push_bottom(cookie(i));
+        }
+        let taken = Mutex::new(Vec::new());
+
+        let exec = Execution::new()
+            .thread("owner", || {
+                // Leading pause: lets the handler/thief act on the fully
+                // private deque before the owner's first own access.
+                pause();
+                if exposer == Exposer::Owner {
+                    d.update_public_bottom(policy);
+                }
+                let job = d
+                    .pop_bottom(mode)
+                    .or_else(|| d.pop_public_bottom());
+                if let Some(t) = job {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+                // Trailing pause: a handler may also arrive after the
+                // protocol completed (must be harmless).
+                pause();
+            })
+            .thread("thief", || {
+                if let Steal::Ok(t) = d.pop_top() {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+            });
+        let exec = match exposer {
+            Exposer::Owner => exec,
+            Exposer::Handler => exec.handler_on(0, || {
+                d.update_public_bottom(policy);
+            }),
+        };
+        exec.run();
+
+        // Drain on the explorer thread (unregistered: accesses pass the
+        // scheduler by). Mirrors the scheduler's acquire path. Always uses
+        // the SignalSafe pop: it is total even on the inconsistent states a
+        // *violating* execution leaves behind (e.g. `bot == 0` with
+        // `public_bot == 1` after a Standard-mode double-take), where the
+        // Standard pop would underflow instead of reporting the damage.
+        let mut all = taken.into_inner().unwrap();
+        loop {
+            if let Some(t) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                all.push(uncookie(t));
+            } else if let Some(t) = d.pop_public_bottom() {
+                all.push(uncookie(t));
+            } else {
+                break;
+            }
+        }
+        check_no_loss_no_dup(all, ntasks)?;
+
+        let (bot, public_bot, age) = d.raw_state();
+        if (bot, public_bot, age.top) != (0, 0, 0) {
+            return Err(format!(
+                "non-canonical empty state: bot={bot} public_bot={public_bot} \
+                 top={} (expected 0/0/0)",
+                age.top
+            ));
+        }
+        Ok(())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The five paper pairings (positive: must pass exhaustively).
+// ---------------------------------------------------------------------------
+
+/// WS baseline: ABP deque, owner `pop_bottom` racing a thief `pop_top`
+/// for the last task(s).
+fn check_abp(ntasks: usize) -> Report {
+    explore(Options::default(), || {
+        let d = AbpDeque::new(8);
+        for i in 0..ntasks {
+            d.push_bottom(cookie(i));
+        }
+        let taken = Mutex::new(Vec::new());
+        Execution::new()
+            .thread("owner", || {
+                if let Some(t) = d.pop_bottom() {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+            })
+            .thread("thief", || {
+                if let Steal::Ok(t) = d.pop_top() {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+            })
+            .run();
+        let mut all = taken.into_inner().unwrap();
+        while let Some(t) = d.pop_bottom() {
+            all.push(uncookie(t));
+        }
+        check_no_loss_no_dup(all, ntasks)?;
+        let (bot, age) = d.raw_state();
+        if (bot, age.top) != (0, 0) {
+            return Err(format!(
+                "non-canonical empty state: bot={bot} top={} (expected 0/0)",
+                age.top
+            ));
+        }
+        Ok(())
+    })
+}
+
+#[test]
+fn ws_abp_owner_thief_race() {
+    for ntasks in [1, 2] {
+        let report = check_abp(ntasks);
+        report.assert_exhaustive_pass("WS/ABP owner-vs-thief");
+        assert!(report.schedules >= 10, "expected a real interleaving space");
+    }
+}
+
+#[test]
+fn uslcws_standard_one_owner_side_exposure() {
+    // USLCWS: Standard pop is safe because exposure happens only at the
+    // owner's own polling points, never inside pop_bottom.
+    for ntasks in [1, 2] {
+        check_split(
+            PopBottomMode::Standard,
+            ExposurePolicy::One,
+            Exposer::Owner,
+            ntasks,
+        )
+        .assert_exhaustive_pass("USLCWS (Standard + One, owner-side)");
+    }
+}
+
+#[test]
+fn signal_signalsafe_one_handler_exposure() {
+    for ntasks in [1, 2] {
+        let report = check_split(
+            PopBottomMode::SignalSafe,
+            ExposurePolicy::One,
+            Exposer::Handler,
+            ntasks,
+        );
+        report.assert_exhaustive_pass("Signal (SignalSafe + One, handler)");
+        assert!(
+            report.schedules >= 100,
+            "handler injection must multiply the schedule count, got {}",
+            report.schedules
+        );
+    }
+}
+
+#[test]
+fn signal_conservative_standard_handler_exposure() {
+    // Conservative exposure keeps the bottom-most task private, which is
+    // exactly what makes the cheaper Standard pop safe again (§4.1.1).
+    for ntasks in [1, 2, 3] {
+        check_split(
+            PopBottomMode::Standard,
+            ExposurePolicy::Conservative,
+            Exposer::Handler,
+            ntasks,
+        )
+        .assert_exhaustive_pass("Conservative (Standard + Conservative, handler)");
+    }
+}
+
+#[test]
+fn signal_half_signalsafe_handler_exposure() {
+    // Expose Half moves round(r/2) tasks at once; SignalSafe pop keeps the
+    // owner correct even when its bottom task goes public mid-pop.
+    for ntasks in [1, 2, 3] {
+        check_split(
+            PopBottomMode::SignalSafe,
+            ExposurePolicy::Half,
+            Exposer::Handler,
+            ntasks,
+        )
+        .assert_exhaustive_pass("Half (SignalSafe + Half, handler)");
+    }
+}
+
+/// The §4 scenario in isolation: no thief, just the owner's pop racing a
+/// handler exposure of the task under its feet, including the
+/// `pop_public_bottom` index repair (`bot ← 0` when `public_bot == 0`).
+#[test]
+fn signalsafe_owner_vs_handler_only() {
+    let report = explore(Options::default(), || {
+        let d = SplitDeque::new(8);
+        d.push_bottom(cookie(0));
+        let taken = Mutex::new(Vec::new());
+        Execution::new()
+            .thread("owner", || {
+                pause();
+                let job = d
+                    .pop_bottom(PopBottomMode::SignalSafe)
+                    .or_else(|| d.pop_public_bottom());
+                if let Some(t) = job {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+                pause();
+            })
+            .handler_on(0, || {
+                d.update_public_bottom(ExposurePolicy::One);
+            })
+            .run();
+        let mut all = taken.into_inner().unwrap();
+        loop {
+            if let Some(t) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                all.push(uncookie(t));
+            } else if let Some(t) = d.pop_public_bottom() {
+                all.push(uncookie(t));
+            } else {
+                break;
+            }
+        }
+        check_no_loss_no_dup(all, 1)?;
+        let (bot, public_bot, age) = d.raw_state();
+        if (bot, public_bot, age.top) != (0, 0, 0) {
+            return Err(format!(
+                "non-canonical empty state after repair: bot={bot} \
+                 public_bot={public_bot} top={}",
+                age.top
+            ));
+        }
+        Ok(())
+    });
+    report.assert_exhaustive_pass("§4 owner-vs-handler with index repair");
+}
+
+// ---------------------------------------------------------------------------
+// Negative: the known-unsound pairing must be *detected*.
+// ---------------------------------------------------------------------------
+
+/// `Standard` pop + `Half` exposure is the combination §4 warns about: the
+/// handler can expose the task the owner has already committed to taking
+/// (between the owner's `public_bot` load and its `bot` store), after which
+/// a thief steals the same slot — a double-take. The explorer must find it.
+#[test]
+fn standard_half_double_take_detected() {
+    let report = check_split(
+        PopBottomMode::Standard,
+        ExposurePolicy::Half,
+        Exposer::Handler,
+        1,
+    );
+    let v = report
+        .violation
+        .expect("Standard+Half must double-take under handler exposure");
+    assert!(
+        v.message.contains("loss/duplication"),
+        "unexpected violation kind: {}",
+        v.message
+    );
+    assert!(
+        v.trace.iter().any(|l| l.contains("SIGUSR1")),
+        "the counterexample must involve a signal delivery:\n{}",
+        v.render()
+    );
+    assert!(!v.schedule.is_empty());
+    // The rendered trace is the artefact EXPERIMENTS.md walks through.
+    eprintln!("{}", v.render());
+}
+
+/// Same unsoundness, base policy: `Standard` + `One` under handler
+/// exposure double-takes too (this is *why* the base signal variant uses
+/// the SignalSafe pop).
+#[test]
+fn standard_one_double_take_detected() {
+    let report = check_split(
+        PopBottomMode::Standard,
+        ExposurePolicy::One,
+        Exposer::Handler,
+        1,
+    );
+    let v = report
+        .violation
+        .expect("Standard+One must double-take under handler exposure");
+    assert!(v.message.contains("loss/duplication"));
+    assert!(v.trace.iter().any(|l| l.contains("SIGUSR1")));
+}

@@ -100,6 +100,11 @@ pub enum Counter {
     /// `signal_send_attempts ≥ signals_sent + signal_send_failed`, with
     /// equality when no EAGAIN retry was needed.
     SignalSendAttempt = 20,
+    /// Steal attempts that lost the `age` CAS race to another taker
+    /// (`Steal::Abort`). Distinct from an empty victim: an abort proves the
+    /// victim held work an instant ago, so thieves must not treat it as
+    /// emptiness when escalating their idle backoff.
+    StealAbort = 21,
 }
 
 /// All counter kinds, in discriminant order.
@@ -125,10 +130,11 @@ pub const COUNTER_KINDS: [Counter; NUM_COUNTERS] = [
     Counter::SignalFallbackFlag,
     Counter::FaultInjected,
     Counter::SignalSendAttempt,
+    Counter::StealAbort,
 ];
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 21;
+pub const NUM_COUNTERS: usize = 22;
 
 impl Counter {
     /// Short, stable name used in CSV headers.
@@ -155,6 +161,7 @@ impl Counter {
             Counter::SignalFallbackFlag => "signal_fallback_flag",
             Counter::FaultInjected => "faults_injected",
             Counter::SignalSendAttempt => "signal_send_attempts",
+            Counter::StealAbort => "steal_aborts",
         }
     }
 }
@@ -356,6 +363,11 @@ impl Snapshot {
     /// Raw `pthread_kill` invocations, including EAGAIN re-sends.
     pub fn signal_send_attempts(&self) -> u64 {
         self.get(Counter::SignalSendAttempt)
+    }
+
+    /// Steal attempts that lost the CAS race to another taker.
+    pub fn steal_aborts(&self) -> u64 {
+        self.get(Counter::StealAbort)
     }
 
     /// Failed notifications rerouted through the `targeted`-flag fallback.
