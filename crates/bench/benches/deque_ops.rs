@@ -66,8 +66,9 @@ fn bench_local_ops(c: &mut Criterion) {
 }
 
 fn bench_steal_path(c: &mut Criterion) {
-    // Each iteration gets a fresh deque: steals advance `top` without
-    // recycling slots, so reusing one deque would overflow its array.
+    // Each iteration gets a fresh deque: steals advance `top`, and a
+    // reused deque never empties here (no reset), so its ring would keep
+    // doubling across iterations and skew the numbers.
     let mut g = c.benchmark_group("steal_path");
     g.bench_function("split_deque expose+steal", |b| {
         b.iter_batched(
@@ -107,9 +108,90 @@ fn bench_steal_path(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_growth");
+    g.throughput(criterion::Throughput::Elements(OPS as u64));
+
+    // Resize-heavy: a fresh capacity-4 deque per iteration pays every
+    // doubling 4 → OPS inside the measured region (8 grows for OPS=1024,
+    // i.e. the worst case the growable ring ever shows). This is the cost
+    // the old fixed array traded for `DequeFull`.
+    g.bench_function("split_deque resize-heavy (cap 4, all doublings)", |b| {
+        b.iter_batched(
+            || SplitDeque::new(4),
+            |d| {
+                for i in 1..=OPS {
+                    d.push_bottom(i as *mut _);
+                }
+                for _ in 0..OPS {
+                    std::hint::black_box(d.pop_bottom(PopBottomMode::Standard));
+                }
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.bench_function("abp_deque resize-heavy (cap 4, all doublings)", |b| {
+        b.iter_batched(
+            || AbpDeque::new(4),
+            |d| {
+                for i in 1..=OPS {
+                    d.push_bottom(i as *mut _);
+                }
+                for _ in 0..OPS {
+                    std::hint::black_box(d.pop_bottom());
+                }
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    // Steady state at the post-growth capacity: one warm-up round performs
+    // all the doublings, then the measured rounds run pinned at the final
+    // capacity — this must match the fixed-array numbers of
+    // `local_push_pop` (the growth check is one owner-local compare).
+    g.bench_function("split_deque steady-state (post-growth capacity)", |b| {
+        let d = SplitDeque::new(4);
+        for i in 1..=OPS {
+            d.push_bottom(i as *mut _);
+        }
+        for _ in 0..OPS {
+            d.pop_bottom(PopBottomMode::Standard);
+        }
+        assert!(d.capacity() >= OPS && d.generation() > 0);
+        b.iter(|| {
+            for i in 1..=OPS {
+                d.push_bottom(i as *mut _);
+            }
+            for _ in 0..OPS {
+                std::hint::black_box(d.pop_bottom(PopBottomMode::Standard));
+            }
+        });
+    });
+    g.bench_function("abp_deque steady-state (post-growth capacity)", |b| {
+        let d = AbpDeque::new(4);
+        for i in 1..=OPS {
+            d.push_bottom(i as *mut _);
+        }
+        for _ in 0..OPS {
+            d.pop_bottom();
+        }
+        assert!(d.capacity() >= OPS && d.generation() > 0);
+        b.iter(|| {
+            for i in 1..=OPS {
+                d.push_bottom(i as *mut _);
+            }
+            for _ in 0..OPS {
+                std::hint::black_box(d.pop_bottom());
+            }
+        });
+    });
+
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_local_ops, bench_steal_path
+    targets = bench_local_ops, bench_steal_path, bench_growth
 }
 criterion_main!(benches);

@@ -92,7 +92,9 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 
 fn main() {
     let cfg = parse_args();
-    let pool = PoolBuilder::new(Variant::Signal).threads(cfg.threads).build();
+    let pool = PoolBuilder::new(Variant::Signal)
+        .threads(cfg.threads)
+        .build();
 
     let mut latencies: Vec<u64> = Vec::new();
     let mut best_trace: Option<Trace> = None;
@@ -183,7 +185,10 @@ fn main() {
         .and_then(|()| std::fs::write(&json_path, trace.to_chrome_json()))
     {
         Ok(()) => report.line(format!("wrote {}", json_path.display())),
-        Err(e) => report.line(format!("warning: cannot write {}: {e}", json_path.display())),
+        Err(e) => report.line(format!(
+            "warning: cannot write {}: {e}",
+            json_path.display()
+        )),
     }
     report.print();
 }

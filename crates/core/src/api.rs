@@ -172,7 +172,15 @@ impl<'scope> Scope<'scope> {
         // inline on the spawner" is always a valid schedule. The job's own
         // closure performs the panic bookkeeping and `pending` decrement,
         // and the heap job frees itself — nothing leaks, nothing aborts.
+        // With growable rings this path is unreachable except under a
+        // faultpoints-forced failure or at MAX_DEQUE_CAPACITY (see
+        // WorkerCtx::join).
         if unsafe { (*ctx).try_push_job(job) }.is_err() {
+            debug_assert!(
+                cfg!(feature = "faultpoints"),
+                "deque overflow without fault injection: growable rings \
+                 only report DequeFull when forced or at MAX_DEQUE_CAPACITY"
+            );
             metrics::bump(Counter::OverflowInline);
             crate::trace::record(crate::trace::EventKind::OverflowInline, 0);
             // Safety: the failed push left us sole owner of the job.

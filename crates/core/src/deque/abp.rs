@@ -17,53 +17,67 @@ use crossbeam_utils::CachePadded;
 use lcws_metrics as metrics;
 
 use crate::age::{Age, AtomicAge};
+use crate::deque::ring::GrowableRing;
 use crate::deque::{DequeFull, Steal};
 use crate::fault::{self, Site};
 use crate::job::Job;
 // Index/age words go through the shim atomics: plain std atomics in normal
 // builds, DFS scheduling points under the opt-in `model` feature.
-use crate::model::shim::{self, AtomicPtr, AtomicU32};
+use crate::model::shim::{self, AtomicU32};
 use crate::trace;
 
-/// Bounded ABP deque: `age = {tag, top}` at the top, `bot` at the bottom.
+/// ABP deque: `age = {tag, top}` at the top, `bot` at the bottom, slots in
+/// a generation-tagged growable ring (see [`crate::deque::ring`]) instead
+/// of the classic bounded array — `push_bottom` doubles on full, with the
+/// fence/CAS placement of every operation unchanged from the bounded
+/// version.
 pub struct AbpDeque {
     age: CachePadded<AtomicAge>,
     bot: CachePadded<AtomicU32>,
-    slots: Box<[AtomicPtr<Job>]>,
+    ring: CachePadded<GrowableRing>,
 }
 
 unsafe impl Send for AbpDeque {}
 unsafe impl Sync for AbpDeque {}
 
 impl AbpDeque {
-    /// Create a deque with `capacity` slots (`capacity < 2^32`).
+    /// Create a deque whose ring starts at `capacity` slots (rounded up to
+    /// a power of two) and doubles on demand up to
+    /// [`crate::deque::ring::MAX_DEQUE_CAPACITY`].
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0 && capacity < u32::MAX as usize);
-        let slots = (0..capacity)
-            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
-            .collect();
         AbpDeque {
             age: CachePadded::new(AtomicAge::new()),
             bot: CachePadded::new(shim::named_u32(0, "bot")),
-            slots,
+            ring: CachePadded::new(GrowableRing::new(capacity)),
         }
     }
 
-    /// Slot capacity.
+    /// Current slot capacity of the ring (racy for non-owners).
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.ring.capture().capacity() as usize
     }
 
-    /// Owner: push at the bottom, failing (with the deque untouched) when
-    /// no free slot exists. Publishes with a seq-cst fence so concurrent
-    /// thieves observe the slot before the new `bot`.
+    /// Number of ring doublings since construction (0 = still the initial
+    /// buffer). Racy for non-owners, exact for the owner.
+    pub fn generation(&self) -> u32 {
+        self.ring.capture().generation()
+    }
+
+    /// Owner: push at the bottom, doubling the ring when full. Publishes
+    /// with a seq-cst fence so concurrent thieves observe the slot before
+    /// the new `bot`. [`DequeFull`] remains only for a `faultpoints`-forced
+    /// failure or a ring at maximum capacity, and leaves the deque
+    /// untouched.
     #[inline]
     pub fn try_push_bottom(&self, task: *mut Job) -> Result<(), DequeFull> {
         let b = self.bot.load(Ordering::Relaxed);
-        if (b as usize) >= self.slots.len() || fault::fail_at(Site::PushBottom) {
+        if fault::fail_at(Site::PushBottom) {
             return Err(DequeFull);
         }
-        self.slots[b as usize].store(task, Ordering::Release);
+        let buf = self
+            .ring
+            .for_push(b, || self.age.load(Ordering::Relaxed).top)?;
+        buf.slot(b).store(task, Ordering::Release);
         self.bot.store(b + 1, Ordering::Release);
         shim::fence_seq_cst();
         metrics::bump(metrics::Counter::Push);
@@ -71,14 +85,17 @@ impl AbpDeque {
         Ok(())
     }
 
-    /// Owner: push at the bottom, panicking if the deque is full. The
-    /// scheduler goes through [`AbpDeque::try_push_bottom`] instead.
+    /// Owner: push at the bottom, growing the ring as needed; panics only
+    /// when growth itself is impossible (ring at maximum capacity, or a
+    /// forced `DequeResize` fault under `faultpoints`). The scheduler goes
+    /// through [`AbpDeque::try_push_bottom`] instead.
     #[inline]
     pub fn push_bottom(&self, task: *mut Job) {
         assert!(
             self.try_push_bottom(task).is_ok(),
-            "ABP deque overflow (capacity {}); raise PoolBuilder::deque_capacity",
-            self.slots.len()
+            "ABP deque overflow (capacity {}): ring growth failed \
+             (maximum capacity or forced DequeResize fault)",
+            self.capacity()
         );
     }
 
@@ -95,7 +112,7 @@ impl AbpDeque {
         // The expensive fence WS pays on every local pop (cf. Attiya et
         // al.'s lower bound, discussed in the paper's introduction).
         shim::fence_seq_cst();
-        let task = self.slots[b1 as usize].load(Ordering::Relaxed);
+        let task = self.ring.owner().slot(b1).load(Ordering::Relaxed);
         let old_age = self.age.load(Ordering::Relaxed);
         if b1 > old_age.top {
             metrics::bump(metrics::Counter::LocalPop);
@@ -104,6 +121,9 @@ impl AbpDeque {
         }
         // Zero or one task left: reset and possibly race thieves for it.
         self.bot.store(0, Ordering::Relaxed);
+        // The reset opens a fresh tag era with `top = 0`; the push fast
+        // path's cached bound must not carry over from the old era.
+        self.ring.reset_top_bound();
         let new_age = old_age.reset();
         if b1 == old_age.top {
             metrics::record_cas();
@@ -128,7 +148,15 @@ impl AbpDeque {
         let old_age = self.age.load(Ordering::Acquire);
         let b = self.bot.load(Ordering::Acquire);
         if b > old_age.top {
-            let task = self.slots[old_age.top as usize].load(Ordering::Acquire);
+            // Single buffer capture per steal, *after* the `age` load: the
+            // CAS below fails whenever `top` moved, which is the only way
+            // this ring's slot at `top` could have been overwritten or the
+            // ring retired-and-superseded mid-steal (see `deque::ring`).
+            let task = self
+                .ring
+                .capture()
+                .slot(old_age.top)
+                .load(Ordering::Acquire);
             let new_age = old_age.with_top_incremented();
             // Forced fire: lose the CAS race outright (chaos tests use this
             // to exercise the Abort path deterministically).
@@ -168,6 +196,16 @@ impl AbpDeque {
         let top = self.age.load(Ordering::Relaxed).top;
         b <= top
     }
+
+    /// Free rings retired by growth.
+    ///
+    /// # Safety
+    /// Callable only at quiescence: no thread may still hold a buffer
+    /// captured before the grow that retired it (the pool calls this after
+    /// the run-close `active` handshake).
+    pub(crate) unsafe fn release_retired(&self) -> usize {
+        self.ring.release_retired()
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +239,42 @@ mod tests {
             assert!(d.pop_bottom().is_some());
             assert_eq!(d.pop_bottom(), None);
         }
+    }
+
+    #[test]
+    fn push_past_capacity_grows_the_ring() {
+        let d = AbpDeque::new(2);
+        assert_eq!(d.capacity(), 2);
+        for i in 1..=35 {
+            d.push_bottom(job(i));
+        }
+        assert_eq!(d.capacity(), 64);
+        assert_eq!(d.generation(), 5, "2 -> 4 -> 8 -> 16 -> 32 -> 64");
+        for i in (1..=35).rev() {
+            assert_eq!(d.pop_bottom(), Some(job(i)));
+        }
+        assert_eq!(d.pop_bottom(), None);
+        let (bot, age) = d.raw_state();
+        assert_eq!((bot, age.top), (0, 0));
+    }
+
+    #[test]
+    fn growth_preserves_stolen_prefix_and_lifo_suffix() {
+        let d = AbpDeque::new(2);
+        d.push_bottom(job(1));
+        d.push_bottom(job(2));
+        assert_eq!(d.pop_top(), Steal::Ok(job(1)));
+        // b = 2, top = 1: the next push recycles the stolen physical slot
+        // (ring indexing, no grow); the one after finds the ring genuinely
+        // full and doubles it, copying live indices 1 and 2.
+        d.push_bottom(job(3));
+        d.push_bottom(job(4)); // grows 2 -> 4
+        assert_eq!(d.generation(), 1);
+        assert_eq!(d.pop_top(), Steal::Ok(job(2)));
+        assert_eq!(d.pop_bottom(), Some(job(4)));
+        assert_eq!(d.pop_bottom(), Some(job(3)));
+        assert_eq!(d.pop_bottom(), None);
+        assert_eq!(d.pop_top(), Steal::Empty);
     }
 
     #[test]

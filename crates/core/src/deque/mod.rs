@@ -1,27 +1,34 @@
 //! Work-stealing deques: the paper's split deque and the ABP/Parlay-style
 //! fully-concurrent deque used as the WS baseline.
 //!
-//! Both deques store thin `*mut Job` pointers in a fixed-capacity array
-//! (as the paper's `array<alligned_task_t, size> deq` does) and share the
-//! packed `{tag, top}` [`crate::age::Age`] word at their top end.
+//! Both deques store thin `*mut Job` pointers in a generation-tagged
+//! growable ring buffer ([`ring`]; the paper's fixed
+//! `array<alligned_task_t, size> deq` is the initial generation) and share
+//! the packed `{tag, top}` [`crate::age::Age`] word at their top end.
 //!
 //! Synchronization accounting: every seq-cst fence goes through
 //! [`lcws_metrics::fence_seq_cst`] and every CAS is recorded with
 //! [`lcws_metrics::record_cas`], placed at exactly the program points of the
-//! paper's Listings — this is what regenerates Figures 3 and 8.
+//! paper's Listings — this is what regenerates Figures 3 and 8. Ring growth
+//! adds nothing to those counts: the fast path pays one extra atomic
+//! pointer load per operation, never a fence or CAS.
 
 mod abp;
+pub mod ring;
 mod split;
 
 pub use abp::AbpDeque;
+pub use ring::MAX_DEQUE_CAPACITY;
 pub use split::{double2int, ExposurePolicy, PopBottomMode, SplitDeque};
 
 use crate::job::Job;
 
-/// Error of a fallible bottom push: the deque has no free slot (or the
-/// `faultpoints` layer forced the overflow outcome). The task was **not**
-/// enqueued; the caller still owns it and is expected to degrade gracefully
-/// (the scheduler runs it inline on the owner).
+/// Error of a fallible bottom push. With growable rings this is nearly
+/// extinct: it arises only when the `faultpoints` layer forces the
+/// `PushBottom` or `DequeResize` outcome, or when the ring already sits at
+/// [`MAX_DEQUE_CAPACITY`]. The task was **not** enqueued; the caller still
+/// owns it and is expected to degrade gracefully (the scheduler runs it
+/// inline on the owner).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DequeFull;
 
@@ -60,9 +67,11 @@ impl Steal {
     }
 }
 
-/// Default number of slots per worker deque.
+/// Default *initial* number of slots per worker deque.
 ///
 /// Fork-join recursion depth bounds the live extent for `join`-structured
 /// programs (depth ≤ log2 n), while `scope` spawns can fill it linearly;
-/// [`crate::PoolBuilder::deque_capacity`] raises it when needed.
+/// either way the ring doubles itself on demand, so the initial capacity
+/// only tunes how many early doublings a deep workload pays.
+/// [`crate::PoolBuilder::deque_capacity`] sets it per pool.
 pub const DEFAULT_DEQUE_CAPACITY: usize = 1 << 13;

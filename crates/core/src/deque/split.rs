@@ -37,6 +37,18 @@
 //! decrement of the listing would wrap — we return `None` before
 //! decrementing, which no handler interleaving can invalidate because the
 //! handler never modifies `bot` and never exposes past it.
+//!
+//! ## Growable storage
+//!
+//! Slots live in a generation-tagged growable ring ([`crate::deque::ring`])
+//! rather than a fixed array: `push_bottom` doubles the ring when full
+//! instead of reporting [`DequeFull`], thieves capture the buffer pointer
+//! once per `pop_top` (after the `age` load, which validates stale
+//! captures), and the handler's `update_public_bottom` never touches the
+//! buffer at all — it only moves `public_bot` — so the §4 argument is
+//! untouched by resizes. The fence/CAS placement of every operation is
+//! unchanged from the fixed-array version (asserted by the fence-counting
+//! tests): growth adds no synchronization to the fast path.
 
 use std::sync::atomic::Ordering;
 
@@ -44,12 +56,13 @@ use crossbeam_utils::CachePadded;
 use lcws_metrics as metrics;
 
 use crate::age::{Age, AtomicAge};
+use crate::deque::ring::GrowableRing;
 use crate::deque::{DequeFull, Steal};
 use crate::fault::{self, Site};
 use crate::job::Job;
 // All index/age words go through the shim atomics: plain std atomics in
 // normal builds, DFS scheduling points under the opt-in `model` feature.
-use crate::model::shim::{self, AtomicPtr, AtomicU32};
+use crate::model::shim::{self, AtomicU32};
 use crate::trace;
 
 /// How the owner's `pop_bottom` guards against concurrent exposure from a
@@ -117,8 +130,9 @@ pub struct SplitDeque {
     public_bot: CachePadded<AtomicU32>,
     /// One past the bottom-most task overall (owner-local).
     bot: CachePadded<AtomicU32>,
-    /// Task slots.
-    slots: Box<[AtomicPtr<Job>]>,
+    /// Growable slot ring (current buffer, cached top bound, retirement
+    /// list).
+    ring: CachePadded<GrowableRing>,
 }
 
 // Job pointers are handed off between threads with deque ownership-transfer
@@ -127,55 +141,65 @@ unsafe impl Send for SplitDeque {}
 unsafe impl Sync for SplitDeque {}
 
 impl SplitDeque {
-    /// Create a deque with `capacity` slots (`capacity < 2^32`).
+    /// Create a deque whose ring starts at `capacity` slots (rounded up to
+    /// a power of two) and doubles on demand up to
+    /// [`crate::deque::ring::MAX_DEQUE_CAPACITY`].
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0 && capacity < u32::MAX as usize);
-        let slots = (0..capacity)
-            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
-            .collect();
         SplitDeque {
             age: CachePadded::new(AtomicAge::new()),
             public_bot: CachePadded::new(shim::named_u32(0, "public_bot")),
             bot: CachePadded::new(shim::named_u32(0, "bot")),
-            slots,
+            ring: CachePadded::new(GrowableRing::new(capacity)),
         }
     }
 
-    /// Slot capacity.
+    /// Current slot capacity of the ring (racy for non-owners: a grow may
+    /// be publishing concurrently).
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.ring.capture().capacity() as usize
+    }
+
+    /// Number of ring doublings since construction (0 = still the initial
+    /// buffer). Racy for non-owners, exact for the owner.
+    pub fn generation(&self) -> u32 {
+        self.ring.capture().generation()
     }
 
     /// Owner: push a task at the bottom. Synchronization-free (Listing 2
-    /// line 5): one plain store of the slot, one plain store of `bot`.
-    ///
-    /// Returns [`DequeFull`] (leaving the deque untouched and the task with
-    /// the caller) when no free slot exists — the scheduler degrades to
-    /// running the task inline instead of aborting.
+    /// line 5) on the fast path: one plain store of the slot, one plain
+    /// store of `bot`. A full ring is doubled in place (amortized O(1));
+    /// [`DequeFull`] remains only for a `faultpoints`-forced
+    /// [`Site::DequeResize`] failure or a ring already at its maximum
+    /// capacity, and leaves the deque untouched and the task with the
+    /// caller so the scheduler can degrade to running it inline.
     #[inline]
     pub fn try_push_bottom(&self, task: *mut Job) -> Result<(), DequeFull> {
         let b = self.bot.load(Ordering::Relaxed);
-        if (b as usize) >= self.slots.len() || fault::fail_at(Site::PushBottom) {
+        if fault::fail_at(Site::PushBottom) {
             return Err(DequeFull);
         }
-        self.slots[b as usize].store(task, Ordering::Relaxed);
+        let buf = self
+            .ring
+            .for_push(b, || self.age.load(Ordering::Relaxed).top)?;
+        buf.slot(b).store(task, Ordering::Relaxed);
         self.bot.store(b + 1, Ordering::Relaxed);
         metrics::bump(metrics::Counter::Push);
         trace::record(trace::EventKind::Push, b + 1);
         Ok(())
     }
 
-    /// Owner: push a task at the bottom, panicking if the deque is full.
-    ///
-    /// Direct deque users that cannot degrade should prefer a capacity
-    /// sized to their workload; the scheduler itself goes through
-    /// [`SplitDeque::try_push_bottom`].
+    /// Owner: push a task at the bottom, growing the ring as needed;
+    /// panics only when growth itself is impossible (ring at maximum
+    /// capacity, or a forced `DequeResize` fault under `faultpoints`). The
+    /// scheduler goes through [`SplitDeque::try_push_bottom`] and degrades
+    /// gracefully instead.
     #[inline]
     pub fn push_bottom(&self, task: *mut Job) {
         assert!(
             self.try_push_bottom(task).is_ok(),
-            "split deque overflow (capacity {}); raise PoolBuilder::deque_capacity",
-            self.slots.len()
+            "split deque overflow (capacity {}): ring growth failed \
+             (maximum capacity or forced DequeResize fault)",
+            self.capacity()
         );
     }
 
@@ -196,7 +220,7 @@ impl SplitDeque {
                 }
                 let b1 = b - 1;
                 self.bot.store(b1, Ordering::Relaxed);
-                let task = self.slots[b1 as usize].load(Ordering::Relaxed);
+                let task = self.ring.owner().slot(b1).load(Ordering::Relaxed);
                 metrics::bump(metrics::Counter::LocalPop);
                 trace::record(trace::EventKind::LocalPop, b1);
                 Some(task)
@@ -219,7 +243,7 @@ impl SplitDeque {
                     // repairs `bot`).
                     return None;
                 }
-                let task = self.slots[b1 as usize].load(Ordering::Relaxed);
+                let task = self.ring.owner().slot(b1).load(Ordering::Relaxed);
                 metrics::bump(metrics::Counter::LocalPop);
                 trace::record(trace::EventKind::LocalPop, b1);
                 Some(task)
@@ -246,7 +270,7 @@ impl SplitDeque {
         // Fence #1 (Listing 2 line 12): publish the decrement to thieves and
         // read an up-to-date `age`.
         shim::fence_seq_cst();
-        let task = self.slots[pb as usize].load(Ordering::Relaxed);
+        let task = self.ring.owner().slot(pb).load(Ordering::Relaxed);
         let old_age = self.age.load(Ordering::Relaxed);
         if pb > old_age.top {
             // More than one public task remained: the bottom-most one is
@@ -263,6 +287,9 @@ impl SplitDeque {
         // (between the two fences) widens the owner-vs-thief CAS race.
         fault::point(Site::PopPublicBottom);
         self.bot.store(0, Ordering::Relaxed);
+        // The reset opens a fresh tag era with `top = 0`; the push fast
+        // path's cached bound must not carry over from the old era.
+        self.ring.reset_top_bound();
         let new_age = old_age.reset();
         let local_bot = pb;
         self.public_bot.store(0, Ordering::Relaxed);
@@ -303,7 +330,15 @@ impl SplitDeque {
         let old_age = self.age.load(Ordering::Acquire);
         let pb = self.public_bot.load(Ordering::Acquire);
         if pb > old_age.top {
-            let task = self.slots[old_age.top as usize].load(Ordering::Relaxed);
+            // Single buffer capture per steal, *after* the `age` load: the
+            // CAS below fails whenever `top` moved, which is the only way
+            // this ring's slot at `top` could have been overwritten or the
+            // ring retired-and-superseded mid-steal (see `deque::ring`).
+            let task = self
+                .ring
+                .capture()
+                .slot(old_age.top)
+                .load(Ordering::Relaxed);
             let new_age = old_age.with_top_incremented();
             // Stretch the read-age → CAS window thieves race within; a
             // forced fire models losing the race outright (the chaos tests
@@ -433,6 +468,16 @@ impl SplitDeque {
     #[cfg(test)]
     pub(crate) fn raw_indices(&self) -> (u32, u32, Age) {
         self.raw_state()
+    }
+
+    /// Free rings retired by growth.
+    ///
+    /// # Safety
+    /// Callable only at quiescence: no thread may still hold a buffer
+    /// captured before the grow that retired it (the pool calls this after
+    /// the run-close `active` handshake).
+    pub(crate) unsafe fn release_retired(&self) -> usize {
+        self.ring.release_retired()
     }
 }
 
@@ -619,25 +664,72 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overflow")]
-    fn push_past_capacity_panics() {
+    fn push_past_capacity_grows_the_ring() {
         let d = SplitDeque::new(2);
+        assert_eq!(d.capacity(), 2);
         d.push_bottom(job(1));
         d.push_bottom(job(2));
+        // The old fixed array rejected this push; the ring doubles instead.
         d.push_bottom(job(3));
+        assert_eq!(d.capacity(), 4);
+        assert_eq!(d.generation(), 1);
+        for i in (1..=3).rev() {
+            assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(i)));
+        }
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), None);
     }
 
     #[test]
-    fn try_push_reports_full_without_losing_tasks() {
+    fn growth_preserves_live_range_across_many_doublings() {
+        let d = SplitDeque::new(4);
+        for i in 1..=100 {
+            d.push_bottom(job(i));
+        }
+        assert_eq!(d.capacity(), 128);
+        assert_eq!(d.generation(), 5, "4 -> 8 -> 16 -> 32 -> 64 -> 128");
+        for i in (1..=100).rev() {
+            assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(i)));
+        }
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), None);
+    }
+
+    #[test]
+    fn growth_keeps_public_part_stealable() {
+        // Expose tasks, then grow: the copied ring must keep the public
+        // range intact for thieves and the owner's public pop.
         let d = SplitDeque::new(2);
-        assert!(d.try_push_bottom(job(1)).is_ok());
-        assert!(d.try_push_bottom(job(2)).is_ok());
-        // A rejected push leaves the deque untouched and reusable.
-        assert_eq!(d.try_push_bottom(job(3)), Err(crate::deque::DequeFull));
-        assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(2)));
-        assert!(d.try_push_bottom(job(3)).is_ok());
+        d.push_bottom(job(1));
+        d.push_bottom(job(2));
+        assert_eq!(d.update_public_bottom(ExposurePolicy::One), 1);
+        d.push_bottom(job(3)); // grows 2 -> 4
+        d.push_bottom(job(4));
+        d.push_bottom(job(5)); // grows 4 -> 8
+        assert_eq!(d.generation(), 2);
+        assert_eq!(d.pop_top(), Steal::Ok(job(1)));
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(5)));
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(4)));
         assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(3)));
-        assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(1)));
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(2)));
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), None);
+        assert_eq!(d.pop_top(), Steal::Empty);
+    }
+
+    #[test]
+    fn ring_slots_recycle_after_reset_without_growing() {
+        // Steals + resets advance the absolute indices; the ring must
+        // recycle physical slots instead of growing.
+        let d = SplitDeque::new(4);
+        for round in 0..16 {
+            d.push_bottom(job(round * 2 + 1));
+            d.push_bottom(job(round * 2 + 2));
+            d.update_public_bottom(ExposurePolicy::One);
+            assert!(matches!(d.pop_top(), Steal::Ok(_)));
+            assert!(d.pop_bottom(PopBottomMode::SignalSafe).is_some());
+            assert!(d.pop_bottom(PopBottomMode::SignalSafe).is_none());
+            assert!(d.pop_public_bottom().is_none()); // canonical reset
+        }
+        assert_eq!(d.generation(), 0, "steady-state reuse must not grow");
+        assert_eq!(d.capacity(), 4);
     }
 
     #[test]

@@ -95,10 +95,16 @@ pub enum Site {
     /// fire makes the spawn report an OS error, exercising the
     /// partial-build teardown.
     ThreadSpawn = 10,
+    /// Deque ring-buffer growth in `push_bottom`: probed once at grow
+    /// entry (failable: a forced fire vetoes the doubling so the push
+    /// reports `DequeFull`, exercising the legacy overflow fallback) and
+    /// again between the slot copy and the new-buffer publish — delays at
+    /// that second hit stretch the resize window thieves race against.
+    DequeResize = 11,
 }
 
 /// Number of distinct [`Site`]s.
-pub const NUM_SITES: usize = 11;
+pub const NUM_SITES: usize = 12;
 
 /// What a site does when it fires, and how often it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,7 +115,8 @@ pub struct SiteAction {
     /// thread at exactly the perturbed transition). Avoid in handler sites.
     pub yields: u32,
     /// Force the site's failure outcome on fire (only meaningful at the
-    /// failable sites: `PushBottom`, `SignalSend`, `ThreadSpawn`).
+    /// failable sites: `PushBottom`, `SignalSend`, `ThreadSpawn`,
+    /// `DequeResize`).
     pub fail: bool,
     /// Fire on roughly 1 in `one_in` hits, chosen by the seeded hash
     /// (`1` = every hit, `0` = never).

@@ -616,10 +616,7 @@ mod tests {
                 let v = x.load(O::Relaxed);
                 x.store(v + 1, O::Relaxed);
             };
-            Execution::new()
-                .thread("t0", bump)
-                .thread("t1", bump)
-                .run();
+            Execution::new().thread("t0", bump).thread("t1", bump).run();
             let v = x.load(O::Relaxed);
             if v == 2 {
                 Ok(())
@@ -627,7 +624,9 @@ mod tests {
                 Err(format!("lost update: x = {v} after two increments"))
             }
         });
-        let v = report.violation.expect("explorer must find the lost update");
+        let v = report
+            .violation
+            .expect("explorer must find the lost update");
         assert!(v.message.contains("lost update"));
         assert!(!v.trace.is_empty(), "counterexample carries a trace");
         assert!(!v.schedule.is_empty(), "counterexample carries a schedule");

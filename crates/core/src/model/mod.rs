@@ -48,6 +48,15 @@
 //!   written during single-threaded setup in every script, so their reads
 //!   commute with everything — removing them from the schedule loses no
 //!   behaviours while shrinking the tree by orders of magnitude.
+//! * The growable rings' *buffer pointer* ([`shim::SchedPtr`]) is the
+//!   exception — the `Resize` decision point. The owner's grow-publish
+//!   store and every thief-side capture are scheduling points, so
+//!   owner-grow vs. thief-steal vs. handler-expose interleavings are
+//!   enumerated like any other access. Only the owner's *own* reads of the
+//!   pointer (`load_owner`) pass through: the owner is its sole writer, so
+//!   those reads commute with everything. The grow's slot copies into the
+//!   not-yet-published ring are invisible to other threads by definition
+//!   and stay unscheduled with the other slot accesses.
 //! * Threads not registered with the scheduler (the explorer thread doing
 //!   setup/drain, ordinary test threads) pass through the shims directly.
 
@@ -87,6 +96,22 @@ mod tests {
         assert_eq!(
             TypeId::of::<super::shim::AtomicPtr<u8>>(),
             TypeId::of::<std::sync::atomic::AtomicPtr<u8>>()
+        );
+    }
+
+    #[cfg(not(feature = "model"))]
+    #[test]
+    fn sched_ptr_is_transparent_when_model_is_off() {
+        // `SchedPtr` cannot be a bare alias (it must also compile under
+        // `model`), but with the feature off it is a `#[repr(transparent)]`
+        // wrapper over the std atomic — same size, same layout.
+        assert_eq!(
+            std::mem::size_of::<super::shim::SchedPtr<u8>>(),
+            std::mem::size_of::<std::sync::atomic::AtomicPtr<u8>>()
+        );
+        assert_eq!(
+            std::mem::align_of::<super::shim::SchedPtr<u8>>(),
+            std::mem::align_of::<std::sync::atomic::AtomicPtr<u8>>()
         );
     }
 }

@@ -13,11 +13,21 @@
 //! task slots, which every model script writes during single-threaded
 //! setup — scheduling their reads would grow the tree without adding
 //! behaviours (see the parent module docs).
+//!
+//! The growable rings' *buffer pointer* is different: the owner republishes
+//! it on every resize, so thief captures racing an owner grow are real
+//! protocol behaviours. [`SchedPtr`] wraps it — a std passthrough when the
+//! feature is off, a scheduled access (the explorer's `Resize` decision
+//! point) when it is on. `load_owner` stays unscheduled in both configs:
+//! the owner is the pointer's only writer, so its own reads commute with
+//! every other access.
 
 pub use std::sync::atomic::AtomicPtr;
 
 #[cfg(not(feature = "model"))]
 mod imp {
+    use std::sync::atomic::Ordering;
+
     pub use std::sync::atomic::{AtomicU32, AtomicU64};
 
     /// Passthrough: a plain `AtomicU32`; the name only matters under
@@ -38,6 +48,39 @@ mod imp {
     #[inline(always)]
     pub fn fence_seq_cst() {
         lcws_metrics::fence_seq_cst();
+    }
+
+    /// Passthrough ring-buffer pointer: a `#[repr(transparent)]` wrapper
+    /// around `AtomicPtr<T>` with `#[inline(always)]` forwarding — the
+    /// fast path pays exactly one atomic pointer load per operation.
+    #[derive(Debug)]
+    #[repr(transparent)]
+    pub struct SchedPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+    impl<T> SchedPtr<T> {
+        /// Passthrough constructor; the name only labels model traces.
+        #[inline(always)]
+        pub fn new(ptr: *mut T, _name: &'static str) -> Self {
+            SchedPtr(std::sync::atomic::AtomicPtr::new(ptr))
+        }
+
+        /// Capture the buffer for a thief/handler-visible operation.
+        #[inline(always)]
+        pub fn load(&self, order: Ordering) -> *mut T {
+            self.0.load(order)
+        }
+
+        /// Owner-side read of a pointer only the owner writes.
+        #[inline(always)]
+        pub fn load_owner(&self, order: Ordering) -> *mut T {
+            self.0.load(order)
+        }
+
+        /// Publish a new buffer (owner-only).
+        #[inline(always)]
+        pub fn store(&self, ptr: *mut T, order: Ordering) {
+            self.0.store(ptr, order)
+        }
     }
 }
 
@@ -153,6 +196,50 @@ mod imp {
     pub fn fence_seq_cst() {
         dfs::access(lcws_metrics::fence_seq_cst, |_| "fence(seq_cst)".into())
     }
+
+    /// Ring-buffer pointer whose thief captures and owner republishes are
+    /// DFS scheduling points — the explorer's `Resize` decision point.
+    #[derive(Debug)]
+    pub struct SchedPtr<T> {
+        inner: std::sync::atomic::AtomicPtr<T>,
+        name: &'static str,
+    }
+
+    impl<T> SchedPtr<T> {
+        pub fn new(ptr: *mut T, name: &'static str) -> Self {
+            SchedPtr {
+                inner: std::sync::atomic::AtomicPtr::new(ptr),
+                name,
+            }
+        }
+
+        /// Scheduled capture: a thief (or any cross-thread reader) racing
+        /// an owner grow is a real decision for the explorer.
+        #[inline]
+        pub fn load(&self, order: Ordering) -> *mut T {
+            dfs::access(
+                || self.inner.load(order),
+                |p| format!("load {} -> {p:p}", self.name),
+            )
+        }
+
+        /// Unscheduled owner-side read: the owner is the pointer's only
+        /// writer, so this read commutes with every concurrent access
+        /// (same argument as the unscheduled task slots).
+        #[inline]
+        pub fn load_owner(&self, order: Ordering) -> *mut T {
+            self.inner.load(order)
+        }
+
+        /// Scheduled publish of a freshly grown buffer (owner-only write).
+        #[inline]
+        pub fn store(&self, ptr: *mut T, order: Ordering) {
+            dfs::access(
+                || self.inner.store(ptr, order),
+                |_| format!("store {} <- {ptr:p} (resize publish)", self.name),
+            )
+        }
+    }
 }
 
-pub use imp::{fence_seq_cst, named_u32, named_u64, AtomicU32, AtomicU64};
+pub use imp::{fence_seq_cst, named_u32, named_u64, AtomicU32, AtomicU64, SchedPtr};

@@ -32,6 +32,23 @@ pub(crate) enum AnyDeque {
     Split(SplitDeque),
 }
 
+impl AnyDeque {
+    /// Free ring buffers retired by growth during the closing run.
+    ///
+    /// # Safety
+    /// Quiescence only: every helper must have left its work loop (the
+    /// run-close `active` handshake), so no thread still holds a captured
+    /// buffer pointer. Parked helpers do not touch deques between epochs,
+    /// and the SIGUSR1 handler only moves `public_bot` — a late signal
+    /// cannot reach a retired ring either.
+    unsafe fn release_retired(&self) -> usize {
+        match self {
+            AnyDeque::Abp(d) => d.release_retired(),
+            AnyDeque::Split(d) => d.release_retired(),
+        }
+    }
+}
+
 /// Shared, cross-thread-visible state of one worker slot.
 pub(crate) struct WorkerShared {
     pub(crate) deque: AnyDeque,
@@ -140,7 +157,10 @@ impl PoolBuilder {
         self
     }
 
-    /// Per-worker deque capacity in slots.
+    /// Per-worker *initial* deque capacity in slots (rounded up to a power
+    /// of two). Deques grow by doubling whenever a push finds the ring
+    /// full, so this only tunes how many early doublings a deep workload
+    /// pays — it is no longer a hard limit.
     pub fn deque_capacity(mut self, capacity: usize) -> PoolBuilder {
         self.deque_capacity = capacity;
         self
@@ -332,10 +352,7 @@ impl ThreadPool {
         let ctx = WorkerCtx::new(pool, 0);
         let result = {
             let _guard = ctx.install();
-            crate::trace::record(
-                crate::trace::EventKind::RunStart,
-                pool.workers.len() as u32,
-            );
+            crate::trace::record(crate::trace::EventKind::RunStart, pool.workers.len() as u32);
             panic::catch_unwind(AssertUnwindSafe(f))
         };
 
@@ -353,7 +370,13 @@ impl ThreadPool {
             }
         }
         // Quiescent: helpers left their work loop through the `active`
-        // AcqRel handshake, so every ring write happens-before this drain.
+        // AcqRel handshake, so every deque and ring write happens-before
+        // this point. This is the retirement list's epoch-free reclamation
+        // moment: no thread can still hold a buffer captured before a grow.
+        for w in pool.workers.iter() {
+            // Safety: quiescence established above.
+            unsafe { w.deque.release_retired() };
+        }
         // The caller's TLS ring was cleared with its ctx guard; worker 0's
         // ring is still exclusively ours, so the close marker goes in
         // directly.
@@ -362,9 +385,8 @@ impl ThreadPool {
             pool.workers[0]
                 .trace
                 .record_now(trace::EventKind::RunClose, 0);
-            let merged = trace::Trace::merge(
-                pool.workers.iter().map(|w| w.trace.drain()).collect(),
-            );
+            let merged =
+                trace::Trace::merge(pool.workers.iter().map(|w| w.trace.drain()).collect());
             *pool.trace_last.lock() = Some(merged);
         }
         match result {

@@ -107,6 +107,9 @@ pub enum EventKind {
     SpuriousWake = 16,
     /// A fork degraded to inline execution on deque overflow (payload = 0).
     OverflowInline = 17,
+    /// `push_bottom` doubled its ring buffer (payload = new capacity in
+    /// slots).
+    DequeGrow = 18,
 }
 
 impl EventKind {
@@ -131,6 +134,7 @@ impl EventKind {
             EventKind::Unpark => "unpark",
             EventKind::SpuriousWake => "spurious_wake",
             EventKind::OverflowInline => "overflow_inline",
+            EventKind::DequeGrow => "deque_grow",
         }
     }
 
@@ -156,6 +160,7 @@ impl EventKind {
             15 => EventKind::Unpark,
             16 => EventKind::SpuriousWake,
             17 => EventKind::OverflowInline,
+            18 => EventKind::DequeGrow,
             _ => return None,
         })
     }
@@ -415,7 +420,10 @@ impl Trace {
         for e in &self.events {
             match e.kind {
                 EventKind::SignalSend => {
-                    pending.entry(e.payload).or_default().push((e.ts_ns, e.worker));
+                    pending
+                        .entry(e.payload)
+                        .or_default()
+                        .push((e.ts_ns, e.worker));
                 }
                 EventKind::SignalSendFailed => {
                     if let Some(q) = pending.get_mut(&e.payload) {
@@ -544,7 +552,10 @@ mod tests {
         assert!(json.contains("\"traceEvents\":["));
         assert!(json.contains("\"name\":\"run_start\""));
         assert!(json.contains("\"ts\":0.000"));
-        assert!(json.contains("\"ts\":2.500"), "µs with ns precision: {json}");
+        assert!(
+            json.contains("\"ts\":2.500"),
+            "µs with ns precision: {json}"
+        );
         assert!(json.contains("\"tid\":1"));
         assert_eq!(
             json.matches("{\"name\":").count(),

@@ -412,11 +412,12 @@ impl WorkerCtx {
     /// Fork-join: run `a` and `b` in parallel, `b` being made available to
     /// thieves through this worker's deque.
     ///
-    /// When this worker's deque is full (recursion deeper than the
-    /// configured capacity), the fork degrades to sequential inline
-    /// execution on the owner — the Cilk-style fallback: the deque bounds
-    /// the *exposed* depth while the remaining recursion continues on the
-    /// owner's stack, so overflow costs parallelism, never correctness.
+    /// The deque grows on demand, so the push can no longer fail from
+    /// recursion depth alone. The Cilk-style inline fallback (run both
+    /// arms sequentially on the owner — overflow costs parallelism, never
+    /// correctness) is kept as graceful degradation for the two residual
+    /// `DequeFull` sources: a `faultpoints`-forced `PushBottom`/
+    /// `DequeResize` failure, and a ring already at `MAX_DEQUE_CAPACITY`.
     pub(crate) fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
     where
         A: FnOnce() -> RA + Send,
@@ -427,6 +428,15 @@ impl WorkerCtx {
         let job_b = StackJob::new(b);
         let ptr_b = job_b.as_job_ptr();
         if self.try_push_job(ptr_b).is_err() {
+            // Unreachable without fault injection: a debug build hitting
+            // this assert grew a ring past MAX_DEQUE_CAPACITY (2^30 live
+            // tasks), which indicates runaway recursion, not a full deque.
+            debug_assert!(
+                cfg!(feature = "faultpoints"),
+                "deque overflow without fault injection: growable rings \
+                 only report DequeFull when forced (Site::PushBottom / \
+                 Site::DequeResize) or at MAX_DEQUE_CAPACITY"
+            );
             metrics::bump(Counter::OverflowInline);
             trace::record(trace::EventKind::OverflowInline, 0);
             // Nobody else ever saw `job_b`: run both closures inline with

@@ -86,7 +86,11 @@ fn forced_signal_failure_storm_completes_via_flag_fallback() {
     );
     // Every send failed: nothing was delivered, every attempt is accounted
     // as a failure, and every failure was rerouted, not dropped.
-    assert_eq!(m.signals_sent(), 0, "no send succeeded, none may count: {m}");
+    assert_eq!(
+        m.signals_sent(),
+        0,
+        "no send succeeded, none may count: {m}"
+    );
     assert_eq!(m.signal_send_failed(), m.signal_send_attempts(), "{m}");
     assert!(
         m.signal_fallback_flag() > 0,
@@ -320,6 +324,193 @@ fn forced_push_failures_degrade_to_inline_joins() {
     );
 }
 
+/// Resize-window storm: `Site::DequeResize` delays stretch the window
+/// between a grow's copy loop and its buffer publish while thieves keep
+/// stealing from the ring that is about to be retired. The correctness
+/// claim under §4 is that a thief's stale buffer capture is harmless —
+/// its `age` CAS validates that `top` never moved — so the storm must
+/// lose nothing and run no task twice, on both deques.
+#[test]
+fn delay_storms_inside_the_resize_window_stay_linearizable() {
+    use lcws_core::deque::{AbpDeque, Steal};
+    use lcws_core::{ExposurePolicy, PopBottomMode, SplitDeque};
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicBool;
+
+    let _g = lock();
+    let guard = install(
+        FaultPlan::new(0x6209)
+            .with(Site::DequeResize, SiteAction::delay(500))
+            .with(Site::PopTop, SiteAction::yield_storm(1).one_in(3)),
+    );
+    const N: usize = 3000;
+    let cookie = |v: usize| (v + 1) as *mut lcws_core::Job;
+
+    // Split deque. Exposure is deliberately rare (One per 4 pushes): `top`
+    // advances at most N/4, so the live extent provably outgrows capacity
+    // 4 and growth is guaranteed to happen while thieves are stealing.
+    run_with_timeout(60, move || {
+        let d = SplitDeque::new(4);
+        let taken = Mutex::new(Vec::<usize>::new());
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        if let Steal::Ok(j) = d.pop_top() {
+                            local.push(j as usize);
+                        }
+                    }
+                    loop {
+                        match d.pop_top() {
+                            Steal::Ok(j) => local.push(j as usize),
+                            Steal::Abort => continue,
+                            _ => break,
+                        }
+                    }
+                    taken.lock().unwrap().extend(local);
+                });
+            }
+            let mut local = Vec::new();
+            for i in 1..=N {
+                d.push_bottom(cookie(i - 1));
+                if i % 4 == 0 {
+                    d.update_public_bottom(ExposurePolicy::One);
+                }
+                if i % 5 == 0 {
+                    if let Some(j) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                        local.push(j as usize);
+                    } else if let Some(j) = d.pop_public_bottom() {
+                        local.push(j as usize);
+                    }
+                }
+            }
+            loop {
+                if let Some(j) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                    local.push(j as usize);
+                } else if let Some(j) = d.pop_public_bottom() {
+                    local.push(j as usize);
+                } else {
+                    break;
+                }
+            }
+            done.store(true, Ordering::Release);
+            taken.lock().unwrap().extend(local);
+        });
+        let all = taken.into_inner().unwrap();
+        let set: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(
+            set.len(),
+            all.len(),
+            "split: a task ran twice across a resize"
+        );
+        assert_eq!(set.len(), N, "split: a task was lost across a resize");
+        assert!(
+            d.generation() > 0,
+            "split: capacity 4 under {N} pushes must grow"
+        );
+    });
+
+    // ABP deque: same storm over the fully-concurrent deque. A small
+    // pre-fill before the thieves start guarantees at least one growth
+    // even if the thieves then keep pace with the pushes.
+    run_with_timeout(60, move || {
+        let d = AbpDeque::new(4);
+        for i in 0..8 {
+            d.push_bottom(cookie(i));
+        }
+        assert!(d.generation() > 0, "abp: pre-fill must grow capacity 4");
+        let taken = Mutex::new(Vec::<usize>::new());
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        if let Steal::Ok(j) = d.pop_top() {
+                            local.push(j as usize);
+                        }
+                    }
+                    while let Steal::Ok(j) = d.pop_top() {
+                        local.push(j as usize);
+                    }
+                    taken.lock().unwrap().extend(local);
+                });
+            }
+            let mut local = Vec::new();
+            for i in 8..N {
+                d.push_bottom(cookie(i));
+                if i % 5 == 0 {
+                    if let Some(j) = d.pop_bottom() {
+                        local.push(j as usize);
+                    }
+                }
+            }
+            while let Some(j) = d.pop_bottom() {
+                local.push(j as usize);
+            }
+            done.store(true, Ordering::Release);
+            taken.lock().unwrap().extend(local);
+        });
+        let all = taken.into_inner().unwrap();
+        let set: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(
+            set.len(),
+            all.len(),
+            "abp: a task ran twice across a resize"
+        );
+        assert_eq!(set.len(), N, "abp: a task was lost across a resize");
+    });
+
+    assert!(
+        guard.fires(Site::DequeResize) > 0,
+        "growth must pass through the resize-window delay"
+    );
+}
+
+/// Forced grow failure: with `Site::DequeResize` failing always, every
+/// growth attempt reports `DequeFull`, so spawn pressure past the initial
+/// capacity must fall back to inline execution (the pre-growth degradation
+/// path, kept for exactly this case) instead of panicking or losing work.
+#[test]
+fn forced_resize_failure_degrades_to_inline_execution() {
+    let _g = lock();
+    let guard = install(FaultPlan::new(0x9120F).with(Site::DequeResize, SiteAction::fail_always()));
+    let (m, ran) = run_with_timeout(60, || {
+        let pool = PoolBuilder::new(Variant::UsLcws)
+            .threads(2)
+            .deque_capacity(4)
+            .build();
+        let ran = AtomicU64::new(0);
+        let (_, m) = pool.run_measured(|| {
+            scope(|s| {
+                for _ in 0..1000 {
+                    let ran = &ran;
+                    s.spawn(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        (m, ran.into_inner())
+    });
+    assert_eq!(ran, 1000, "every task runs, queued or inline");
+    assert!(
+        guard.fires(Site::DequeResize) > 0,
+        "growth must be attempted"
+    );
+    assert!(
+        m.overflow_inline() > 0,
+        "failed growth must fall back to inline execution: {m}"
+    );
+    assert_eq!(
+        m.deque_grows(),
+        0,
+        "no doubling may succeed under fail_always: {m}"
+    );
+}
+
 /// A forced spawn failure mid-build must tear the partial pool down (every
 /// already-spawned worker joined) and leave the process able to build a
 /// fresh pool once the plan is gone.
@@ -382,7 +573,11 @@ fn delayed_worker_spawns_keep_signal_runs_correct() {
     });
     let n = 1u64 << 14;
     assert_eq!(sum, n * (n + 1) / 2, "work lost under staggered startup");
-    assert_eq!(guard.hits(Site::ThreadSpawn), 3, "one delay per helper spawn");
+    assert_eq!(
+        guard.hits(Site::ThreadSpawn),
+        3,
+        "one delay per helper spawn"
+    );
     assert_eq!(
         m.signal_send_failed(),
         0,

@@ -9,10 +9,14 @@
 //!   boundary; `pop_public_bottom` may only be called when the private
 //!   part is empty (the scheduler's call contract).
 //! * ABP deque: plain deque (owner at the back, thieves at the front).
+//!
+//! Both model-comparison tests start from initial capacity 4, so ordinary
+//! scripts cross several ring doublings — every step-by-step assertion also
+//! validates the growth path's copy/publish against the reference.
 
 use std::collections::VecDeque;
 
-use lcws_core::deque::{AbpDeque, DequeFull, Steal};
+use lcws_core::deque::{AbpDeque, Steal};
 use lcws_core::{ExposurePolicy, PopBottomMode, SplitDeque};
 use proptest::prelude::*;
 
@@ -94,7 +98,7 @@ proptest! {
         signal_safe in any::<bool>(),
     ) {
         let mode = if signal_safe { PopBottomMode::SignalSafe } else { PopBottomMode::Standard };
-        let deque = SplitDeque::new(512);
+        let deque = SplitDeque::new(4);
         let mut model = SplitModel::default();
         let mut next = 0usize;
         for op in &ops {
@@ -158,7 +162,7 @@ proptest! {
 
     #[test]
     fn abp_deque_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
-        let deque = AbpDeque::new(512);
+        let deque = AbpDeque::new(4);
         let mut model: VecDeque<usize> = VecDeque::new();
         let mut next = 0usize;
         for op in &ops {
@@ -188,45 +192,41 @@ proptest! {
     }
 
     #[test]
-    fn split_deque_overflow_fallback_preserves_task_count(
-        cap in 1usize..48,
-        extra in 1usize..24,
-        steal_then_retry in any::<bool>(),
+    fn split_deque_growth_preserves_task_count(
+        extra in 24usize..96,
+        steal_stride in 4usize..9,
+        do_steal in any::<bool>(),
         signal_safe in any::<bool>(),
     ) {
-        // The scheduler's overflow contract: a rejected push leaves the
-        // deque untouched and the task with the caller (who runs it
-        // inline), so queued + inline together cover every task exactly
-        // once — nothing lost, nothing duplicated.
+        // The growth contract replacing the old overflow cliff: a push past
+        // capacity doubles the ring instead of rejecting the task, so from
+        // initial capacity 4 every push succeeds, and 28+ pushes (minus at
+        // most a quarter stolen) force at least three doublings. Steals are
+        // interspersed so the copy windows start at non-zero `top` values
+        // and growth interleaves with a moving public part.
         let mode = if signal_safe { PopBottomMode::SignalSafe } else { PopBottomMode::Standard };
-        let deque = SplitDeque::new(cap);
-        // Fill to exactly capacity.
-        for i in 0..cap {
-            prop_assert!(deque.try_push_bottom(cookie(i)).is_ok());
-        }
-        prop_assert_eq!(deque.private_len() as usize, cap);
-        // Every further push is rejected without disturbing the queue; the
-        // rejected tasks are what the scheduler executes inline.
-        let mut inline: Vec<usize> = Vec::new();
-        for i in cap..cap + extra {
-            prop_assert_eq!(deque.try_push_bottom(cookie(i)), Err(DequeFull));
-            inline.push(i);
-            prop_assert_eq!(deque.private_len() as usize, cap);
-        }
-        // Slot indices are not recycled by steals: even after exposing and
-        // stealing, `bot` still sits at the capacity limit, so pushes keep
-        // degrading until the owner drains (which resets the deque).
+        let deque = SplitDeque::new(4);
+        let total = 4 + extra;
         let mut stolen: Vec<usize> = Vec::new();
-        if steal_then_retry && cap >= 2 {
-            prop_assert_eq!(deque.update_public_bottom(ExposurePolicy::One), 1);
-            match deque.pop_top() {
-                Steal::Ok(t) => stolen.push(t as usize - 1),
-                other => prop_assert!(false, "uncontended steal failed: {:?}", other),
+        for i in 0..total {
+            if do_steal && i > 0 && i % steal_stride == 0
+                && deque.update_public_bottom(ExposurePolicy::One) == 1
+            {
+                match deque.pop_top() {
+                    Steal::Ok(t) => stolen.push(t as usize - 1),
+                    other => prop_assert!(false, "uncontended steal failed: {:?}", other),
+                }
             }
-            prop_assert_eq!(deque.try_push_bottom(cookie(cap + extra)), Err(DequeFull));
-            inline.push(cap + extra);
+            prop_assert!(deque.try_push_bottom(cookie(i)).is_ok(), "push {} rejected", i);
         }
-        // Drain the owner side.
+        // ≤ total/4 steals leave a live extent > 16 slots, so the ring must
+        // have doubled 4 → 8 → 16 → 32 at minimum.
+        prop_assert!(
+            deque.generation() >= 3,
+            "expected ≥ 3 resizes, generation = {}", deque.generation()
+        );
+        prop_assert!(deque.capacity() as usize >= total - stolen.len());
+        // Drain the owner side exactly as the scheduler acquires.
         let mut drained: Vec<usize> = Vec::new();
         loop {
             if let Some(t) = deque.pop_bottom(mode) {
@@ -237,42 +237,45 @@ proptest! {
                 break;
             }
         }
-        // Accounting: queued + stolen = exactly the accepted pushes, inline
-        // = exactly the rejected ones, with no overlap.
-        prop_assert_eq!(drained.len() + stolen.len(), cap);
+        // Accounting across every resize: drained + stolen = exactly the
+        // pushed tasks, nothing lost, nothing duplicated.
         let mut all: Vec<usize> = drained;
         all.extend(stolen);
-        all.extend(inline.iter().copied());
         all.sort_unstable();
-        let pushed = cap + extra + usize::from(steal_then_retry && cap >= 2);
-        prop_assert_eq!(all, (0..pushed).collect::<Vec<_>>());
+        prop_assert_eq!(all, (0..total).collect::<Vec<_>>());
         // After a full drain the deque resets and accepts pushes again.
         prop_assert!(deque.try_push_bottom(cookie(0)).is_ok());
     }
 
     #[test]
-    fn abp_deque_overflow_fallback_preserves_task_count(
-        cap in 1usize..48,
-        extra in 1usize..24,
+    fn abp_deque_growth_preserves_task_count(
+        extra in 24usize..96,
+        steal_stride in 4usize..9,
+        do_steal in any::<bool>(),
     ) {
-        let deque = AbpDeque::new(cap);
-        for i in 0..cap {
-            prop_assert!(deque.try_push_bottom(cookie(i)).is_ok());
+        let deque = AbpDeque::new(4);
+        let total = 4 + extra;
+        let mut stolen: Vec<usize> = Vec::new();
+        for i in 0..total {
+            if do_steal && i > 0 && i % steal_stride == 0 {
+                if let Steal::Ok(t) = deque.pop_top() {
+                    stolen.push(t as usize - 1);
+                }
+            }
+            prop_assert!(deque.try_push_bottom(cookie(i)).is_ok(), "push {} rejected", i);
         }
-        let mut inline: Vec<usize> = Vec::new();
-        for i in cap..cap + extra {
-            prop_assert_eq!(deque.try_push_bottom(cookie(i)), Err(DequeFull));
-            inline.push(i);
-        }
+        prop_assert!(
+            deque.generation() >= 3,
+            "expected ≥ 3 resizes, generation = {}", deque.generation()
+        );
         let mut drained: Vec<usize> = Vec::new();
         while let Some(t) = deque.pop_bottom() {
             drained.push(t as usize - 1);
         }
-        prop_assert_eq!(drained.len(), cap);
         let mut all = drained;
-        all.extend(inline);
+        all.extend(stolen);
         all.sort_unstable();
-        prop_assert_eq!(all, (0..cap + extra).collect::<Vec<_>>());
+        prop_assert_eq!(all, (0..total).collect::<Vec<_>>());
         prop_assert!(deque.try_push_bottom(cookie(0)).is_ok());
     }
 
@@ -289,7 +292,7 @@ proptest! {
         seed in 0usize..12,
         ops in proptest::collection::vec(op_strategy(), 1..200),
     ) {
-        let deque = SplitDeque::new(256);
+        let deque = SplitDeque::new(4);
         for i in 0..seed {
             deque.push_bottom(cookie(i));
         }

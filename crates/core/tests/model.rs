@@ -83,9 +83,7 @@ fn check_split(
                 if exposer == Exposer::Owner {
                     d.update_public_bottom(policy);
                 }
-                let job = d
-                    .pop_bottom(mode)
-                    .or_else(|| d.pop_public_bottom());
+                let job = d.pop_bottom(mode).or_else(|| d.pop_public_bottom());
                 if let Some(t) = job {
                     taken.lock().unwrap().push(uncookie(t));
                 }
@@ -295,6 +293,141 @@ fn signalsafe_owner_vs_handler_only() {
         Ok(())
     });
     report.assert_exhaustive_pass("§4 owner-vs-handler with index repair");
+}
+
+// ---------------------------------------------------------------------------
+// Ring growth (the Resize decision point).
+// ---------------------------------------------------------------------------
+
+/// Owner-grow vs thief-steal vs handler-expose on a capacity-2 split
+/// deque: the owner's third push must double the ring, so its grow-publish
+/// store and the thief's buffer capture become scheduling points. The DFS
+/// covers both sides of the race that decides whether growth happens at
+/// all — if the thief's CAS lands before the owner's full-check refresh,
+/// `top` has advanced and the push fits without growing — and, in the
+/// growing branch, every placement of the thief's capture and the
+/// handler's exposure around the copy/publish window. Stale captures must
+/// be harmless (the thief's `age` CAS validates them) and the retired
+/// ring's contents must never be re-read after a steal.
+#[test]
+fn split_resize_vs_thief_and_handler() {
+    let ntasks = 3;
+    let report = explore(Options::default(), || {
+        let d = SplitDeque::new(2);
+        d.push_bottom(cookie(0));
+        d.push_bottom(cookie(1));
+        // Seed the public part so the thief races the growth, not just the
+        // exposure.
+        d.update_public_bottom(ExposurePolicy::One);
+        let taken = Mutex::new(Vec::new());
+        Execution::new()
+            .thread("owner", || {
+                pause();
+                // The ring holds 2 of 2 slots: this push grows 2 → 4
+                // unless the thief's steal already advanced `top`.
+                d.push_bottom(cookie(2));
+                let job = d
+                    .pop_bottom(PopBottomMode::SignalSafe)
+                    .or_else(|| d.pop_public_bottom());
+                if let Some(t) = job {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+                pause();
+            })
+            .thread("thief", || {
+                if let Steal::Ok(t) = d.pop_top() {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+            })
+            .handler_on(0, || {
+                d.update_public_bottom(ExposurePolicy::One);
+            })
+            .run();
+        if d.generation() > 1 {
+            return Err(format!(
+                "at most one doubling is reachable, generation = {}",
+                d.generation()
+            ));
+        }
+        let mut all = taken.into_inner().unwrap();
+        loop {
+            if let Some(t) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                all.push(uncookie(t));
+            } else if let Some(t) = d.pop_public_bottom() {
+                all.push(uncookie(t));
+            } else {
+                break;
+            }
+        }
+        check_no_loss_no_dup(all, ntasks)?;
+        let (bot, public_bot, age) = d.raw_state();
+        if (bot, public_bot, age.top) != (0, 0, 0) {
+            return Err(format!(
+                "non-canonical empty state: bot={bot} public_bot={public_bot} \
+                 top={} (expected 0/0/0)",
+                age.top
+            ));
+        }
+        Ok(())
+    });
+    report.assert_exhaustive_pass("split resize vs thief vs handler");
+    assert!(
+        report.schedules >= 100,
+        "resize + handler injection must multiply the schedule count, got {}",
+        report.schedules
+    );
+}
+
+/// Owner-grow vs thief-steal on a capacity-2 ABP deque: same Resize
+/// decision point over the fully-concurrent deque, where the thief's
+/// capture races the owner's publish directly (no exposure step).
+#[test]
+fn abp_resize_vs_thief() {
+    let ntasks = 3;
+    let report = explore(Options::default(), || {
+        let d = AbpDeque::new(2);
+        d.push_bottom(cookie(0));
+        d.push_bottom(cookie(1));
+        let taken = Mutex::new(Vec::new());
+        Execution::new()
+            .thread("owner", || {
+                d.push_bottom(cookie(2));
+                if let Some(t) = d.pop_bottom() {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+            })
+            .thread("thief", || {
+                if let Steal::Ok(t) = d.pop_top() {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+            })
+            .run();
+        if d.generation() > 1 {
+            return Err(format!(
+                "at most one doubling is reachable, generation = {}",
+                d.generation()
+            ));
+        }
+        let mut all = taken.into_inner().unwrap();
+        while let Some(t) = d.pop_bottom() {
+            all.push(uncookie(t));
+        }
+        check_no_loss_no_dup(all, ntasks)?;
+        let (bot, age) = d.raw_state();
+        if (bot, age.top) != (0, 0) {
+            return Err(format!(
+                "non-canonical empty state: bot={bot} top={} (expected 0/0)",
+                age.top
+            ));
+        }
+        Ok(())
+    });
+    report.assert_exhaustive_pass("ABP resize vs thief");
+    assert!(
+        report.schedules >= 20,
+        "expected a real interleaving space, got {}",
+        report.schedules
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -57,17 +57,18 @@ fn sequential_runs_from_different_caller_threads() {
 }
 
 #[test]
-fn deque_overflow_degrades_to_inline_execution() {
-    // A full deque no longer aborts the run: the spawn that cannot be
-    // queued executes inline on the spawner (a valid schedule for scope
-    // tasks), counted in `overflow_inline`.
+fn deque_growth_absorbs_spawn_bursts_without_inline_fallback() {
+    // A burst of spawns past the initial capacity no longer hits the
+    // inline-execution fallback: `push_bottom` doubles the ring on demand,
+    // so every task is queued (and stealable) and `overflow_inline` stays
+    // zero while `deque_grows` records the doublings.
     let pool = PoolBuilder::new(Variant::UsLcws)
         .threads(2)
         .deque_capacity(8)
         .build();
     let ran = AtomicU64::new(0);
     let (_, m) = pool.run_measured(|| {
-        // Spawn far more scope tasks than the deque can hold.
+        // Spawn far more scope tasks than the initial ring can hold.
         scope(|s| {
             for _ in 0..1000 {
                 let ran = &ran;
@@ -80,22 +81,28 @@ fn deque_overflow_degrades_to_inline_execution() {
     assert_eq!(
         ran.load(Ordering::Relaxed),
         1000,
-        "every spawned task runs exactly once, queued or inline"
+        "every spawned task runs exactly once"
+    );
+    assert_eq!(
+        m.overflow_inline(),
+        0,
+        "growable rings never overflow under plain spawn pressure: {m}"
     );
     assert!(
-        m.overflow_inline() > 0,
-        "a capacity-8 deque must overflow under 1000 eager spawns"
+        m.deque_grows() > 0,
+        "1000 eager spawns from capacity 8 must double the ring: {m}"
     );
-    // The pool stays fully usable after degrading.
+    // The pool stays fully usable afterwards.
     assert_eq!(pool.run(|| 7), 7);
 }
 
 #[test]
-fn deep_unbalanced_fork_tree_survives_tiny_deque() {
-    // A left-spine fork tree of depth 20_000 on a capacity-8 deque: almost
-    // every `join` finds the deque full and falls back to sequential
-    // execution of both arms. The run must complete (no panic, no lost
-    // work), which needs a caller stack big enough for the depth.
+fn deep_unbalanced_fork_tree_grows_instead_of_degrading() {
+    // A left-spine fork tree of depth 20_000 on an initial capacity-8
+    // deque: before growable rings almost every `join` found the deque
+    // full and serialized both arms; now the ring doubles and every level
+    // queues its second arm normally. The run still needs a caller stack
+    // big enough for the recursion depth.
     fn spine(depth: u64) -> u64 {
         if depth == 0 {
             return 1;
@@ -117,17 +124,23 @@ fn deep_unbalanced_fork_tree_survives_tiny_deque() {
         .expect("spawn deep-recursion thread");
     let (sum, m) = t.join().expect("deep fork tree must not panic");
     assert_eq!(sum, DEPTH + 1);
+    assert_eq!(
+        m.overflow_inline(),
+        0,
+        "depth {DEPTH} on a growable ring must never hit the inline fallback: {m}"
+    );
     assert!(
-        m.overflow_inline() > 0,
-        "depth {DEPTH} on capacity 8 must hit the inline fallback: {m}"
+        m.deque_grows() > 0,
+        "depth {DEPTH} from capacity 8 must double the ring: {m}"
     );
 }
 
 #[test]
-fn overflow_fallback_sustains_deep_recursion_on_capacity_4() {
-    // Acceptance case from the fault-injection issue: a `deque_capacity(4)`
-    // pool survives recursion depth >= 10^4 purely via the inline-execution
-    // fallback, with the degradation visible in metrics.
+fn join_recursion_at_depth_100k_grows_from_capacity_4() {
+    // Join-spine variant of the acceptance case: recursion depth 10^5 from
+    // `deque_capacity(4)`, bounded only by the caller's stack (each level
+    // holds a `join` frame). The deque itself is bounded by ring growth —
+    // zero inline fallbacks, with the doublings recorded in metrics.
     fn tree(depth: u64) -> u64 {
         if depth == 0 {
             return 1;
@@ -136,9 +149,9 @@ fn overflow_fallback_sustains_deep_recursion_on_capacity_4() {
         let (a, b) = join(|| tree(depth - 1), || tree(depth.min(2) - 1));
         a + b + 1
     }
-    const DEPTH: u64 = 10_000;
+    const DEPTH: u64 = 100_000;
     let t = std::thread::Builder::new()
-        .stack_size(64 << 20)
+        .stack_size(512 << 20)
         .spawn(|| {
             let pool = PoolBuilder::new(Variant::UsLcws)
                 .threads(2)
@@ -147,12 +160,65 @@ fn overflow_fallback_sustains_deep_recursion_on_capacity_4() {
             pool.run_measured(|| tree(DEPTH))
         })
         .expect("spawn deep-recursion thread");
-    let (sum, m) = t.join().expect("capacity-4 pool must survive depth 10^4");
+    let (sum, m) = t.join().expect("capacity-4 pool must survive depth 10^5");
     assert!(sum > DEPTH, "tree result grows with depth: {sum}");
-    assert!(
-        m.overflow_inline() > 0,
-        "capacity 4 at depth {DEPTH} must record inline fallbacks: {m}"
+    assert_eq!(
+        m.overflow_inline(),
+        0,
+        "capacity 4 at depth {DEPTH} must grow, not degrade: {m}"
     );
+    assert!(
+        m.deque_grows() > 0,
+        "capacity 4 at depth {DEPTH} must record ring doublings: {m}"
+    );
+}
+
+#[test]
+fn depth_one_million_spawns_from_capacity_4_never_overflow() {
+    // The issue's acceptance criterion: deque depth 10^6 starting from
+    // capacity 4 completes with `overflow_inline == 0`. Scope spawns reach
+    // that depth without deep native recursion: with a single worker the
+    // scope body queues all 10^6 tasks before any is popped, so the ring
+    // must double from 4 slots to 2^20 (18 grows) while holding every
+    // queued task. A second, two-thread run covers the same pressure with
+    // concurrent thieves draining mid-growth.
+    const SPAWNS: u64 = 1_000_000;
+    for threads in [1usize, 2] {
+        let pool = PoolBuilder::new(if threads == 1 {
+            Variant::Ws
+        } else {
+            Variant::UsLcws
+        })
+        .threads(threads)
+        .deque_capacity(4)
+        .build();
+        let ran = AtomicU64::new(0);
+        let (_, m) = pool.run_measured(|| {
+            scope(|s| {
+                for _ in 0..SPAWNS {
+                    let ran = &ran;
+                    s.spawn(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), SPAWNS, "threads = {threads}");
+        assert_eq!(
+            m.overflow_inline(),
+            0,
+            "threads = {threads}: 10^6 spawns from capacity 4 must never overflow: {m}"
+        );
+        assert!(
+            m.deque_grows() > 0,
+            "threads = {threads}: 10^6 spawns from capacity 4 must grow the ring: {m}"
+        );
+        if threads == 1 {
+            // Deterministic with no thieves: depth exactly 10^6 needs
+            // capacity 2^20, i.e. 18 doublings from 4.
+            assert_eq!(m.deque_grows(), 18, "single-thread growth count: {m}");
+        }
+    }
 }
 
 #[test]

@@ -330,7 +330,10 @@ fn tiny_ring_reports_dropped_events() {
     );
     // Drops never corrupt what survives.
     assert!(trace.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
-    assert!(trace.events.len() <= 32 * 4 + 1, "kept at most cap per ring");
+    assert!(
+        trace.events.len() <= 32 * 4 + 1,
+        "kept at most cap per ring"
+    );
 }
 
 #[test]
@@ -347,7 +350,11 @@ fn chrome_export_parses_and_matches_the_trace() {
         Some(Json::Arr(items)) => items,
         other => panic!("traceEvents must be an array, got {other:?}"),
     };
-    assert_eq!(events.len(), trace.events.len(), "one JSON object per event");
+    assert_eq!(
+        events.len(),
+        trace.events.len(),
+        "one JSON object per event"
+    );
 
     let known: std::collections::HashSet<&str> = (0..32u16)
         .filter_map(EventKind::from_u16)

@@ -105,6 +105,11 @@ pub enum Counter {
     /// victim held work an instant ago, so thieves must not treat it as
     /// emptiness when escalating their idle backoff.
     StealAbort = 21,
+    /// Deque ring-buffer growths: `push_bottom` found the current ring full
+    /// and doubled it. One bump per successful doubling, so the final
+    /// capacity of a worker's deque is `initial << grows` (per deque; this
+    /// counter aggregates across workers like every other counter).
+    DequeGrow = 22,
 }
 
 /// All counter kinds, in discriminant order.
@@ -131,10 +136,11 @@ pub const COUNTER_KINDS: [Counter; NUM_COUNTERS] = [
     Counter::FaultInjected,
     Counter::SignalSendAttempt,
     Counter::StealAbort,
+    Counter::DequeGrow,
 ];
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 22;
+pub const NUM_COUNTERS: usize = 23;
 
 impl Counter {
     /// Short, stable name used in CSV headers.
@@ -162,6 +168,7 @@ impl Counter {
             Counter::FaultInjected => "faults_injected",
             Counter::SignalSendAttempt => "signal_send_attempts",
             Counter::StealAbort => "steal_aborts",
+            Counter::DequeGrow => "deque_grows",
         }
     }
 }
@@ -368,6 +375,11 @@ impl Snapshot {
     /// Steal attempts that lost the CAS race to another taker.
     pub fn steal_aborts(&self) -> u64 {
         self.get(Counter::StealAbort)
+    }
+
+    /// Deque ring-buffer doublings performed by `push_bottom`.
+    pub fn deque_grows(&self) -> u64 {
+        self.get(Counter::DequeGrow)
     }
 
     /// Failed notifications rerouted through the `targeted`-flag fallback.

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Compare the newest BENCH_*.json against the previous one in the series.
+
+Usage:
+    scripts/compare_bench.py [--threshold PCT] [CURRENT [PREVIOUS]]
+
+With no arguments the script picks the two highest-numbered BENCH_<n>.json
+files at the repo root (the number is the PR sequence index: BENCH_6.json,
+BENCH_7.json, ...). With one argument it compares that file against the
+highest-numbered *other* file. Exits non-zero when any directional metric
+regressed by more than the threshold (default 10%).
+
+Direction is inferred from the metric name:
+  * keys ending in `_ns` (latencies) regress when they go UP;
+  * keys ending in `_per_sec` (throughputs) regress when they go DOWN;
+  * everything else (counters such as `overflow_inline`, `steal_aborts`,
+    `idle_wakeups`, `deque_grows`) is informational only — reported, never
+    failed on, because counts are workload- not performance-determined.
+
+Nested objects are walked; the comparison key is the dotted path.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def bench_index(path):
+    m = re.search(r"BENCH_(\d+)\.json$", os.path.basename(path))
+    return int(m.group(1)) if m else -1
+
+
+def flatten(obj, prefix=""):
+    """Yield (dotted_key, number) for every numeric leaf."""
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            yield from flatten(v, f"{prefix}{k}." if prefix else f"{k}.")
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        yield prefix.rstrip("."), float(obj)
+    # strings / nulls / lists of non-metrics are ignored
+
+
+def direction(key):
+    """-1: lower is better, +1: higher is better, 0: informational."""
+    leaf = key.rsplit(".", 1)[-1]
+    if leaf.endswith("_ns"):
+        return -1
+    if leaf.endswith("_per_sec"):
+        return 1
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", nargs="?", help="current BENCH_*.json")
+    ap.add_argument("previous", nargs="?", help="baseline BENCH_*.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="regression threshold in percent (default 10)",
+    )
+    args = ap.parse_args()
+
+    series = sorted(glob.glob(os.path.join(ROOT, "BENCH_*.json")), key=bench_index)
+    current = args.current or (series[-1] if series else None)
+    if current is None:
+        print("compare_bench: no BENCH_*.json found at repo root", file=sys.stderr)
+        return 2
+    previous = args.previous or next(
+        (p for p in reversed(series) if os.path.abspath(p) != os.path.abspath(current)),
+        None,
+    )
+    if previous is None:
+        print(f"compare_bench: {os.path.basename(current)} is the first entry "
+              "in the series; nothing to compare against")
+        return 0
+
+    with open(previous) as f:
+        prev = dict(flatten(json.load(f)))
+    with open(current) as f:
+        cur = dict(flatten(json.load(f)))
+
+    print(f"compare_bench: {os.path.basename(current)} vs "
+          f"{os.path.basename(previous)} (threshold {args.threshold:.0f}%)")
+    regressions = []
+    for key in sorted(cur):
+        if key not in prev:
+            print(f"  new     {key} = {cur[key]:g}")
+            continue
+        old, new = prev[key], cur[key]
+        sense = direction(key)
+        if old == 0:
+            delta_pct = 0.0 if new == 0 else float("inf")
+        else:
+            delta_pct = (new - old) / abs(old) * 100.0
+        tag = "info" if sense == 0 else ("ok" if -sense * delta_pct <= args.threshold else "REGRESSED")
+        print(f"  {tag:<9} {key}: {old:g} -> {new:g} ({delta_pct:+.1f}%)")
+        if tag == "REGRESSED":
+            regressions.append((key, old, new, delta_pct))
+    for key in sorted(set(prev) - set(cur)):
+        print(f"  dropped {key} (was {prev[key]:g})")
+
+    if regressions:
+        print(f"compare_bench: {len(regressions)} metric(s) regressed by more "
+              f"than {args.threshold:.0f}%:", file=sys.stderr)
+        for key, old, new, pct in regressions:
+            print(f"  {key}: {old:g} -> {new:g} ({pct:+.1f}%)", file=sys.stderr)
+        return 1
+    print("compare_bench: no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
