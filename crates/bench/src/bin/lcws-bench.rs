@@ -20,7 +20,7 @@
 //!   (idle wakeups, overflow inlines, steal aborts, ring grows).
 //!
 //! Usage: `cargo run --release -p lcws-bench --bin lcws-bench [-- --out
-//! BENCH_6.json --threads N]`
+//! BENCH_7.json --threads N]`
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -36,7 +36,7 @@ struct Config {
 
 fn parse_args() -> Config {
     let mut cfg = Config {
-        out: "BENCH_6.json".to_string(),
+        out: "BENCH_7.json".to_string(),
         threads: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)

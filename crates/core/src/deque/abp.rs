@@ -179,6 +179,19 @@ impl AbpDeque {
         Steal::Empty
     }
 
+    /// Pool (at quiescence): restore the canonical `(bot, age) =
+    /// (0, {tag+1, 0})` empty state before handing this deque to a
+    /// respawned worker. The tag bump invalidates stale thief `age`
+    /// snapshots from the dead worker's era; see
+    /// `SplitDeque::reset_for_respawn` for the safety contract (quiescent,
+    /// under the run lock).
+    pub(crate) fn reset_for_respawn(&self) {
+        self.bot.store(0, Ordering::Relaxed);
+        self.ring.reset_top_bound();
+        let new_age = self.age.load(Ordering::Relaxed).reset();
+        self.age.store(new_age, Ordering::Relaxed);
+    }
+
     /// Raw `(bot, age)` snapshot. For tests and the model checker, which
     /// assert the canonical reset to `(0, top = 0)`; not part of the
     /// stable API.
@@ -239,6 +252,21 @@ mod tests {
             assert!(d.pop_bottom().is_some());
             assert_eq!(d.pop_bottom(), None);
         }
+    }
+
+    #[test]
+    fn reset_for_respawn_restores_canonical_state() {
+        let d = AbpDeque::new(16);
+        d.push_bottom(job(1));
+        d.push_bottom(job(2));
+        assert_eq!(d.pop_top(), Steal::Ok(job(1)));
+        let tag_before = d.raw_state().1.tag;
+        d.reset_for_respawn();
+        let (bot, age) = d.raw_state();
+        assert_eq!((bot, age.top), (0, 0));
+        assert!(age.tag > tag_before, "respawn reset must open a new tag era");
+        d.push_bottom(job(3));
+        assert_eq!(d.pop_bottom(), Some(job(3)));
     }
 
     #[test]

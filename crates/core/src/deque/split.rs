@@ -422,6 +422,52 @@ impl SplitDeque {
         exposed
     }
 
+    /// Owner (dying): publish the **entire** private region so thieves can
+    /// rescue tasks a panicking worker would otherwise strand forever.
+    /// Returns how many tasks were exposed.
+    ///
+    /// This is the supervision layer's last-gasp handoff (DESIGN.md §5e):
+    /// policy-agnostic (`public_bot ← bot` regardless of the variant's
+    /// [`ExposurePolicy`]) because the owner is about to stop scheduling —
+    /// the §4.1 policies exist to protect the *owner's* future `pop_bottom`,
+    /// and a dying owner has none. Called on the worker's own thread from
+    /// the unwind path, so the owner-only access discipline holds.
+    pub fn expose_all(&self) -> u32 {
+        let b = self.bot.load(Ordering::Relaxed);
+        let pb = self.public_bot.load(Ordering::Relaxed);
+        let exposed = b.saturating_sub(pb);
+        if exposed > 0 {
+            // Release pairs with the Acquire in pop_top, exactly like
+            // update_public_bottom: thieves must see the slot contents
+            // before the moved boundary.
+            self.public_bot.store(b, Ordering::Release);
+            metrics::bump_by(metrics::Counter::Exposure, exposed as u64);
+            trace::record(trace::EventKind::Expose, exposed);
+        }
+        exposed
+    }
+
+    /// Pool (at quiescence): restore the canonical `(bot, public_bot,
+    /// age) = (0, 0, {tag+1, 0})` empty state before handing this deque to
+    /// a respawned worker.
+    ///
+    /// Mirrors the reset arm of [`SplitDeque::pop_public_bottom`]: the tag
+    /// bump invalidates any `age` snapshot a thief captured in the dead
+    /// worker's era, and the push fast path's cached top bound must not
+    /// carry over.
+    ///
+    /// # Safety (enforced by the caller)
+    /// Only sound at quiescence with no concurrent owner or thief — the
+    /// pool calls this between runs, under the run lock, after the `active`
+    /// handshake of the previous generation completed.
+    pub(crate) fn reset_for_respawn(&self) {
+        self.bot.store(0, Ordering::Relaxed);
+        self.public_bot.store(0, Ordering::Relaxed);
+        self.ring.reset_top_bound();
+        let new_age = self.age.load(Ordering::Relaxed).reset();
+        self.age.store(new_age, Ordering::Relaxed);
+    }
+
     /// Thief-side heuristic for the Conservative variant's notification
     /// condition (§4.1.1): does the victim hold at least two tasks?
     #[inline]
@@ -661,6 +707,42 @@ mod tests {
                 assert_eq!(d.pop_public_bottom(), None);
             }
         }
+    }
+
+    #[test]
+    fn expose_all_publishes_entire_private_region() {
+        let d = SplitDeque::new(16);
+        for i in 1..=5 {
+            d.push_bottom(job(i));
+        }
+        assert_eq!(d.update_public_bottom(ExposurePolicy::One), 1);
+        // Dying-owner handoff: everything still private becomes stealable.
+        assert_eq!(d.expose_all(), 4);
+        assert_eq!(d.private_len(), 0);
+        assert_eq!(d.public_len(), 5);
+        for i in 1..=5 {
+            assert_eq!(d.pop_top(), Steal::Ok(job(i)));
+        }
+        assert_eq!(d.pop_top(), Steal::Empty);
+        // Idempotent on an empty deque.
+        assert_eq!(d.expose_all(), 0);
+    }
+
+    #[test]
+    fn reset_for_respawn_restores_canonical_state() {
+        let d = SplitDeque::new(16);
+        d.push_bottom(job(1));
+        d.push_bottom(job(2));
+        d.update_public_bottom(ExposurePolicy::One);
+        assert_eq!(d.pop_top(), Steal::Ok(job(1)));
+        let tag_before = d.raw_state().2.tag;
+        d.reset_for_respawn();
+        let (bot, pb, age) = d.raw_state();
+        assert_eq!((bot, pb, age.top), (0, 0, 0));
+        assert!(age.tag > tag_before, "respawn reset must open a new tag era");
+        // The slot is fully reusable by the replacement owner.
+        d.push_bottom(job(3));
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(3)));
     }
 
     #[test]

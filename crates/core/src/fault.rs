@@ -8,7 +8,8 @@
 //! ones: a named [`Site`] is compiled into every critical transition
 //! (`push_bottom`/`pop_bottom`/`pop_top` in both deques, exposure, signal
 //! send and handler entry, `targeted`-flag polls, sleeper park/unpark,
-//! worker-thread spawn), and a seeded [`FaultPlan`] decides, per site and
+//! worker-thread spawn, the helper work loop), and a seeded [`FaultPlan`]
+//! decides, per site and
 //! deterministically in hit order, whether to perturb the schedule (busy
 //! delay, yield storm) or to force the site's failure outcome (deque
 //! overflow, `pthread_kill` error, spawn error).
@@ -101,10 +102,18 @@ pub enum Site {
     /// again between the slot copy and the new-buffer publish — delays at
     /// that second hit stretch the resize window thieves race against.
     DequeResize = 11,
+    /// Top of each helper's `work_until` iteration. Failable: a forced
+    /// fire panics the helper thread, killing it mid-run — the
+    /// deterministic worker-death injector behind the supervision chaos
+    /// tests. The probe sits *before* local acquisition, where the helper
+    /// provably holds no task in hand, so an injected death can strand
+    /// tasks only in the deque (where the dying-owner expose-all rescues
+    /// them), never a task mid-transfer.
+    WorkerLoop = 12,
 }
 
 /// Number of distinct [`Site`]s.
-pub const NUM_SITES: usize = 12;
+pub const NUM_SITES: usize = 13;
 
 /// What a site does when it fires, and how often it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

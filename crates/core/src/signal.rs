@@ -139,6 +139,14 @@ const SEND_RETRIES: u32 = 2;
 /// failure is detected in release builds too, counted, and surfaced to the
 /// caller so the steal request can be rerouted through the user-space
 /// `targeted`-flag path instead of being silently dropped.
+///
+/// The supervision layer (DESIGN.md §5e) keeps corpses out of here
+/// entirely: a dying worker zeroes its pthread slot *before* raising its
+/// death flag, and `signal_or_flag` treats a zero handle as "unreachable,
+/// use the fallback flag" — so after a worker death, thieves fail fast in
+/// user space rather than racing `pthread_kill` against thread teardown
+/// (a handle can be recycled by the OS once the thread is joined, making a
+/// late kill target an unrelated thread; the zero-handle gate closes that).
 pub(crate) fn notify(target: u64) -> Result<(), libc::c_int> {
     let mut rc = send_once(target);
     let mut attempt = 0;

@@ -193,6 +193,15 @@ impl Sleep {
         self.mask.iter().any(|w| w.load(Ordering::Relaxed) != 0)
     }
 
+    /// Is worker `index` currently announced in the sleeper set (racy)?
+    /// Diagnostic only — the stall watchdog's report uses it to distinguish
+    /// parked helpers from ones still running (or dead); never used for
+    /// wake decisions.
+    pub(crate) fn is_sleeping(&self, index: usize) -> bool {
+        let (word, bit) = (index / 64, 1u64 << (index % 64));
+        self.mask[word].load(Ordering::Relaxed) & bit != 0
+    }
+
     /// Block worker `index` until woken, the timed backstop fires, or
     /// `should_abort` reports that parking is (no longer) warranted.
     ///

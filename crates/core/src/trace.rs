@@ -110,6 +110,14 @@ pub enum EventKind {
     /// `push_bottom` doubled its ring buffer (payload = new capacity in
     /// slots).
     DequeGrow = 18,
+    /// A panic escaped this worker's work loop and the dying-owner handler
+    /// ran (payload = private tasks exposed for rescue). Recorded on the
+    /// dying worker, before it leaves the run's `active` handshake.
+    WorkerDeath = 19,
+    /// The between-run self-healing pass spawned a replacement helper
+    /// (payload = the respawned worker's index). Recorded on worker 0's
+    /// ring at the start of the run that healed the pool.
+    WorkerRespawn = 20,
 }
 
 impl EventKind {
@@ -135,6 +143,8 @@ impl EventKind {
             EventKind::SpuriousWake => "spurious_wake",
             EventKind::OverflowInline => "overflow_inline",
             EventKind::DequeGrow => "deque_grow",
+            EventKind::WorkerDeath => "worker_death",
+            EventKind::WorkerRespawn => "worker_respawn",
         }
     }
 
@@ -161,6 +171,8 @@ impl EventKind {
             16 => EventKind::SpuriousWake,
             17 => EventKind::OverflowInline,
             18 => EventKind::DequeGrow,
+            19 => EventKind::WorkerDeath,
+            20 => EventKind::WorkerRespawn,
             _ => return None,
         })
     }
@@ -275,6 +287,11 @@ impl TraceRing {
     }
 
     /// Forget all recorded events (between runs, owner quiesced).
+    /// Which worker slot this ring belongs to.
+    pub(crate) fn worker_index(&self) -> u16 {
+        self.worker
+    }
+
     pub(crate) fn reset(&self) {
         self.head.store(0, Ordering::Relaxed);
     }
@@ -301,6 +318,33 @@ impl TraceRing {
             }
         }
         (out, dropped)
+    }
+
+    /// Best-effort snapshot of the newest `n` events for the stall
+    /// watchdog's diagnostic report. Unlike [`TraceRing::drain`], this may
+    /// run while the owner is still recording: slots are read with volatile
+    /// loads and a record torn by a concurrent write decodes to an unknown
+    /// kind (`from_u16` → `None`) and is skipped. Diagnostics only — never
+    /// used for the merged run trace.
+    pub(crate) fn peek_tail(&self, n: usize) -> Vec<TraceEvent> {
+        let h = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let kept = h.min(cap).min(n as u64);
+        let mut out = Vec::with_capacity(kept as usize);
+        for i in (h - kept)..h {
+            // Racy-by-design read (see above); volatile keeps the compiler
+            // from caching or tearing the copy further.
+            let raw = unsafe { std::ptr::read_volatile(self.slots[(i % cap) as usize].get()) };
+            if let Some(kind) = EventKind::from_u16(raw.kind) {
+                out.push(TraceEvent {
+                    ts_ns: raw.ts_ns,
+                    worker: raw.worker,
+                    kind,
+                    payload: raw.payload,
+                });
+            }
+        }
+        out
     }
 }
 

@@ -378,6 +378,14 @@ impl WorkerCtx {
             if finished() {
                 return;
             }
+            // Supervision fault site: a forced fire panics the helper here,
+            // at the top of the loop *before* local acquisition — the worker
+            // provably holds no task in hand, so the chaos tests can kill it
+            // deterministically and assert the dying-owner handoff rescues
+            // everything still queued (see `pool::handle_worker_death`).
+            if fault::fail_at(Site::WorkerLoop) {
+                panic!("injected worker-loop fault (Site::WorkerLoop)");
+            }
             if let Some(job) = self.acquire_local() {
                 self.execute(job);
                 backoff.reset();

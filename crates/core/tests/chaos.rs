@@ -536,7 +536,7 @@ fn spawn_failure_mid_build_tears_down_and_recovers() {
         "panic must name the failing worker: {msg}"
     );
     assert!(
-        msg.contains("2 already-spawned worker(s) joined cleanly"),
+        msg.contains("2 already-spawned worker(s) joined (0 of them panicked)"),
         "panic must confirm the partial teardown: {msg}"
     );
     assert_eq!(guard.fires(Site::ThreadSpawn), 1);

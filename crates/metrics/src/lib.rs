@@ -110,6 +110,14 @@ pub enum Counter {
     /// capacity of a worker's deque is `initial << grows` (per deque; this
     /// counter aggregates across workers like every other counter).
     DequeGrow = 22,
+    /// Worker threads that died: a panic escaped a helper's work loop (the
+    /// job-level `catch_unwind` contains task panics, so this counts
+    /// scheduler-internal failures and injected `WorkerLoop` faults), or a
+    /// join at teardown surfaced a panic payload.
+    WorkerDeath = 23,
+    /// Replacement helper threads spawned by the pool's between-run
+    /// self-healing pass (one per dead worker successfully respawned).
+    WorkerRespawn = 24,
 }
 
 /// All counter kinds, in discriminant order.
@@ -137,10 +145,12 @@ pub const COUNTER_KINDS: [Counter; NUM_COUNTERS] = [
     Counter::SignalSendAttempt,
     Counter::StealAbort,
     Counter::DequeGrow,
+    Counter::WorkerDeath,
+    Counter::WorkerRespawn,
 ];
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 23;
+pub const NUM_COUNTERS: usize = 25;
 
 impl Counter {
     /// Short, stable name used in CSV headers.
@@ -169,6 +179,8 @@ impl Counter {
             Counter::SignalSendAttempt => "signal_send_attempts",
             Counter::StealAbort => "steal_aborts",
             Counter::DequeGrow => "deque_grows",
+            Counter::WorkerDeath => "worker_deaths",
+            Counter::WorkerRespawn => "worker_respawns",
         }
     }
 }
@@ -380,6 +392,16 @@ impl Snapshot {
     /// Deque ring-buffer doublings performed by `push_bottom`.
     pub fn deque_grows(&self) -> u64 {
         self.get(Counter::DequeGrow)
+    }
+
+    /// Worker threads lost to a panic escaping their work loop.
+    pub fn worker_deaths(&self) -> u64 {
+        self.get(Counter::WorkerDeath)
+    }
+
+    /// Replacement helper threads spawned by the self-healing pass.
+    pub fn worker_respawns(&self) -> u64 {
+        self.get(Counter::WorkerRespawn)
     }
 
     /// Failed notifications rerouted through the `targeted`-flag fallback.
