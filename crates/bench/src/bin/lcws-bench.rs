@@ -18,9 +18,13 @@
 //!   trace layer; `null` unless built with `--features trace`.
 //! * `scheduler` — informational counters from one fine-grained run
 //!   (idle wakeups, overflow inlines, steal aborts, ring grows).
+//! * `ingress` — external-submission throughput through the global
+//!   injector: a spawn→join round-trip rate, and the many-producer stress
+//!   (64 producers × 10⁵ tasks by default) in a single timed round with
+//!   its push/pop accounting.
 //!
 //! Usage: `cargo run --release -p lcws-bench --bin lcws-bench [-- --out
-//! BENCH_7.json --threads N]`
+//! BENCH_8.json --threads N]`
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -32,16 +36,20 @@ struct Config {
     out: String,
     threads: usize,
     rounds: usize,
+    stress_producers: usize,
+    stress_tasks: usize,
 }
 
 fn parse_args() -> Config {
     let mut cfg = Config {
-        out: "BENCH_7.json".to_string(),
+        out: "BENCH_8.json".to_string(),
         threads: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
             .min(8),
         rounds: 15,
+        stress_producers: 64,
+        stress_tasks: 100_000,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,8 +58,17 @@ fn parse_args() -> Config {
             "--out" => cfg.out = take(),
             "--threads" => cfg.threads = take().parse().expect("--threads needs a number"),
             "--rounds" => cfg.rounds = take().parse().expect("--rounds needs a number"),
+            "--stress-producers" => {
+                cfg.stress_producers = take().parse().expect("--stress-producers needs a number");
+            }
+            "--stress-tasks" => {
+                cfg.stress_tasks = take().parse().expect("--stress-tasks needs a number");
+            }
             "--help" | "-h" => {
-                eprintln!("options: --out PATH --threads N --rounds N");
+                eprintln!(
+                    "options: --out PATH --threads N --rounds N \
+                     --stress-producers N --stress-tasks N(per producer)"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown option {other}"),
@@ -280,6 +297,86 @@ fn scheduler_counters(cfg: &Config, out: &mut Obj) {
     );
 }
 
+/// External-ingress throughput through the global injector.
+///
+/// Two numbers: the spawn→join round-trip rate for a single external
+/// producer feeding batches while the pool serves, and the many-producer
+/// stress — the PR 8 acceptance scenario — run as one timed round (the
+/// workload is large enough that medianing adds minutes for no stability
+/// gain). The stress asserts zero task loss before reporting, so a broken
+/// number can never be committed.
+fn bench_ingress(cfg: &Config, out: &mut Obj) {
+    use std::sync::Arc;
+
+    // A serve window executes on helper workers only (worker 0 is the
+    // `run` caller's seat), so a threads=1 pool defers everything to the
+    // shutdown drain — joining before shutdown would deadlock. Floor the
+    // serving pools at 2, same as signal_latency.
+    let threads = cfg.threads.max(2);
+
+    // Spawn→join round-trip: one producer, batch submission, join all.
+    const BATCH: usize = 4096;
+    let pool = PoolBuilder::new(Variant::Signal).threads(threads).build();
+    pool.serve();
+    let ns = median_ns(cfg.rounds, || {
+        let handles = pool.spawn_batch((0..BATCH as u64).map(|i| move || std::hint::black_box(i)));
+        for h in handles {
+            h.join();
+        }
+    });
+    pool.shutdown();
+    out.num("injector_spawn_join_per_sec", per_sec(BATCH, ns));
+    eprintln!(
+        "ingress/spawn_join: {:.0} tasks/s",
+        per_sec(BATCH, ns)
+    );
+
+    // Many-producer stress: stress_producers external threads each submit
+    // stress_tasks fire-and-forget tasks; the clock covers first submit
+    // through full drain (shutdown).
+    let total = (cfg.stress_producers * cfg.stress_tasks) as u64;
+    let pool = PoolBuilder::new(Variant::Signal)
+        .threads(cfg.threads)
+        .build();
+    pool.serve();
+    let executed = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..cfg.stress_producers {
+            let pool = &pool;
+            let executed = Arc::clone(&executed);
+            s.spawn(move || {
+                for _ in 0..cfg.stress_tasks {
+                    let executed = Arc::clone(&executed);
+                    drop(pool.spawn(move || {
+                        executed.fetch_add(1, Ordering::Relaxed);
+                    }));
+                }
+            });
+        }
+    });
+    let snap = pool.shutdown();
+    let ns = t0.elapsed().as_nanos() as u64;
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        total,
+        "producer stress lost tasks — refusing to report a throughput"
+    );
+    out.num("producer_stress_per_sec", per_sec(total as usize, ns));
+    out.int("producer_stress_total_tasks", total);
+    out.int("producer_stress_injector_pushes", snap.injector_pushes());
+    out.int("producer_stress_injector_pops", snap.injector_pops());
+    eprintln!(
+        "ingress/producer_stress: {} producers x {} tasks -> {:.0} tasks/s \
+         (pushes={} pops={})",
+        cfg.stress_producers,
+        cfg.stress_tasks,
+        per_sec(total as usize, ns),
+        snap.injector_pushes(),
+        snap.injector_pops()
+    );
+}
+
 fn main() {
     let cfg = parse_args();
 
@@ -293,6 +390,9 @@ fn main() {
 
     let mut sched = Obj::default();
     scheduler_counters(&cfg, &mut sched);
+
+    let mut ingress = Obj::default();
+    bench_ingress(&cfg, &mut ingress);
 
     let mut meta = Obj::default();
     meta.int("threads", cfg.threads as u64);
@@ -314,6 +414,7 @@ fn main() {
         siglat.map_or("null".to_string(), |o| o.render(2)),
     );
     root.raw("scheduler", sched.render(2));
+    root.raw("ingress", ingress.render(2));
 
     let json = format!("{}\n", root.render(0));
     std::fs::write(&cfg.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", cfg.out));

@@ -39,12 +39,15 @@ impl Age {
         }
     }
 
-    /// This age with `top` advanced by one (a successful steal).
+    /// This age with `top` advanced by one (a successful steal). Wraps:
+    /// `top` is an absolute ring index, monotone modulo 2³² within an era
+    /// (ordering comparisons against it go through the wrap-safe signed
+    /// distance in `crate::deque`).
     #[inline]
     pub fn with_top_incremented(self) -> Age {
         Age {
             tag: self.tag,
-            top: self.top + 1,
+            top: self.top.wrapping_add(1),
         }
     }
 
@@ -148,6 +151,13 @@ mod tests {
             top: 5,
         };
         assert_eq!(m.reset(), Age { tag: 0, top: 0 });
+        // `top` wraps too: it is an absolute index modulo 2³² within an
+        // era, so a steal at `top == u32::MAX` must carry into 0.
+        let w = Age {
+            tag: 2,
+            top: u32::MAX,
+        };
+        assert_eq!(w.with_top_incremented(), Age { tag: 2, top: 0 });
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::any::Any;
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 use lcws_metrics as metrics;
 use lcws_metrics::Counter;
@@ -121,6 +121,13 @@ where
 /// guaranteed complete when [`scope`] returns.
 pub struct Scope<'scope> {
     pending: AtomicUsize,
+    /// Worker index of the drain loop parked awaiting `pending == 0` (or
+    /// `crate::job::NO_WAITER`): the task that performs the last decrement
+    /// delivers a targeted wake instead of leaving the sleeper to its
+    /// timed backstop. Same read-before-the-releasing-store discipline as
+    /// `Job::mark_done` — after the final decrement lands, `scope` may
+    /// return and free this struct.
+    waiter: AtomicU32,
     panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
     // Invariant lifetime, rayon-style: spawned closures may borrow anything
     // that strictly outlives the `scope` call.
@@ -165,7 +172,12 @@ impl<'scope> Scope<'scope> {
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
                 sc.record_panic(payload);
             }
-            sc.pending.fetch_sub(1, Ordering::AcqRel);
+            // Waiter load strictly before the decrement: the scope may be
+            // freed the instant the drain loop observes zero.
+            let waiter = sc.waiter.load(Ordering::SeqCst);
+            if sc.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                crate::worker::wake_waiter(waiter);
+            }
         });
         // Deque overflow degrades gracefully: spawn semantics allow the
         // task to run any time before the scope closes, so "immediately,
@@ -204,14 +216,17 @@ where
 {
     let sc = Scope {
         pending: AtomicUsize::new(0),
+        waiter: AtomicU32::new(crate::job::NO_WAITER),
         panic: Mutex::new(None),
         _marker: PhantomData,
     };
     let result = panic::catch_unwind(AssertUnwindSafe(|| f(&sc)));
     // Drain: help run work until every spawned task has completed. Spawned
     // jobs sit in deques and cannot be abandoned even if `f` panicked.
-    // Fruitless helping escalates spin → yield → park; task completion does
-    // not wake sleepers, so the park's timed backstop bounds the wait.
+    // Fruitless helping escalates spin → yield → park; before parking the
+    // drain registers in the scope's waiter slot so the task performing the
+    // last `pending` decrement delivers a targeted wake (the timed backstop
+    // covers the residual registration race — see `crate::sleep`).
     let ctx = current_ctx();
     let mut backoff = IdleBackoff::new(if ctx.is_null() {
         IdlePolicy::SpinOnly
@@ -233,7 +248,9 @@ where
                 metrics::bump(Counter::IdleIter);
                 match backoff.next() {
                     IdleAction::Park => unsafe {
-                        (*ctx).park_until(|| sc.pending.load(Ordering::Acquire) == 0)
+                        sc.waiter.store((*ctx).index() as u32, Ordering::SeqCst);
+                        (*ctx).park_waiter(|| sc.pending.load(Ordering::Acquire) == 0);
+                        sc.waiter.store(crate::job::NO_WAITER, Ordering::SeqCst);
                     },
                     action => IdleBackoff::relax(action),
                 }

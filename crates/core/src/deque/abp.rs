@@ -18,7 +18,7 @@ use lcws_metrics as metrics;
 
 use crate::age::{Age, AtomicAge};
 use crate::deque::ring::GrowableRing;
-use crate::deque::{DequeFull, Steal};
+use crate::deque::{sdist, DequeFull, Steal};
 use crate::fault::{self, Site};
 use crate::job::Job;
 // Index/age words go through the shim atomics: plain std atomics in normal
@@ -78,10 +78,10 @@ impl AbpDeque {
             .ring
             .for_push(b, || self.age.load(Ordering::Relaxed).top)?;
         buf.slot(b).store(task, Ordering::Release);
-        self.bot.store(b + 1, Ordering::Release);
+        self.bot.store(b.wrapping_add(1), Ordering::Release);
         shim::fence_seq_cst();
         metrics::bump(metrics::Counter::Push);
-        trace::record(trace::EventKind::Push, b + 1);
+        trace::record(trace::EventKind::Push, b.wrapping_add(1));
         Ok(())
     }
 
@@ -104,17 +104,20 @@ impl AbpDeque {
     pub fn pop_bottom(&self) -> Option<*mut Job> {
         fault::point(Site::PopBottom);
         let b = self.bot.load(Ordering::Relaxed);
-        if b == 0 {
+        // `b == 0` alone is not proof of emptiness on a wrapped era (a
+        // long-lived deque's indices pass through 0 with `top` near
+        // `u32::MAX`); only `b == top == 0` — the canonical era base — is.
+        if b == 0 && self.age.load(Ordering::Relaxed).top == 0 {
             return None;
         }
-        let b1 = b - 1;
+        let b1 = b.wrapping_sub(1);
         self.bot.store(b1, Ordering::Relaxed);
         // The expensive fence WS pays on every local pop (cf. Attiya et
         // al.'s lower bound, discussed in the paper's introduction).
         shim::fence_seq_cst();
         let task = self.ring.owner().slot(b1).load(Ordering::Relaxed);
         let old_age = self.age.load(Ordering::Relaxed);
-        if b1 > old_age.top {
+        if sdist(b1, old_age.top) > 0 {
             metrics::bump(metrics::Counter::LocalPop);
             trace::record(trace::EventKind::LocalPop, b1);
             return Some(task);
@@ -147,7 +150,7 @@ impl AbpDeque {
         metrics::bump(metrics::Counter::StealAttempt);
         let old_age = self.age.load(Ordering::Acquire);
         let b = self.bot.load(Ordering::Acquire);
-        if b > old_age.top {
+        if sdist(b, old_age.top) > 0 {
             // Single buffer capture per steal, *after* the `age` load: the
             // CAS below fails whenever `top` moved, which is the only way
             // this ring's slot at `top` could have been overwritten or the
@@ -207,7 +210,26 @@ impl AbpDeque {
     pub fn is_empty(&self) -> bool {
         let b = self.bot.load(Ordering::Relaxed);
         let top = self.age.load(Ordering::Relaxed).top;
-        b <= top
+        sdist(b, top) <= 0
+    }
+
+    /// Test hook: restart the (empty, otherwise-idle) deque's era at
+    /// absolute index `start`. Owner-only; exists so the wraparound tests
+    /// can start `bot`/`top`/the cached push bound near `u32::MAX` and
+    /// drive the protocol across the index boundary. Not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub fn set_start_index(&self, start: u32) {
+        let tag = self.age.load(Ordering::Relaxed).tag;
+        self.bot.store(start, Ordering::Relaxed);
+        self.age.store(
+            Age {
+                tag: tag.wrapping_add(1),
+                top: start,
+            },
+            Ordering::Relaxed,
+        );
+        self.ring.set_top_bound(start);
     }
 
     /// Free rings retired by growth.
@@ -315,6 +337,92 @@ mod tests {
         lcws_metrics::flush_into(&c);
         let s = c.snapshot();
         assert_eq!(s.fences(), 2, "one fence per push + one per pop");
+    }
+
+    #[test]
+    fn wraparound_push_pop_steal_and_grow() {
+        // Start the era 8 indices before the u32 boundary: the pushes
+        // below carry `bot` through the wrap while `top` is still on the
+        // far side, and the capacity-4 ring doubles twice mid-wrap.
+        let d = AbpDeque::new(4);
+        let start = u32::MAX - 7;
+        d.set_start_index(start);
+        for i in 1..=16 {
+            d.push_bottom(job(i));
+        }
+        assert_eq!(d.capacity(), 16, "4 -> 8 -> 16 across the boundary");
+        let (bot, age) = d.raw_state();
+        assert_eq!(bot, start.wrapping_add(16), "bot wrapped past zero");
+        assert!(bot < age.top, "raw compare is inverted across the wrap");
+        // Thief consumes pre-wrap indices, owner post-wrap indices.
+        assert_eq!(d.pop_top(), Steal::Ok(job(1)));
+        assert_eq!(d.pop_top(), Steal::Ok(job(2)));
+        for i in (4..=16).rev() {
+            assert_eq!(d.pop_bottom(), Some(job(i)));
+        }
+        assert_eq!(d.pop_bottom(), Some(job(3)));
+        assert_eq!(d.pop_bottom(), None);
+        let (bot, age) = d.raw_state();
+        assert_eq!((bot, age.top), (0, 0), "drain re-anchors the 0 era");
+        // The deque keeps working in the fresh era.
+        d.push_bottom(job(99));
+        assert_eq!(d.pop_bottom(), Some(job(99)));
+    }
+
+    #[test]
+    fn wraparound_concurrent_stress_no_loss_no_duplication() {
+        use std::collections::HashSet;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Mutex;
+
+        // Same owner-vs-thieves storm as below, but the era starts close
+        // enough to u32::MAX that the working indices cross the boundary
+        // while thieves are live.
+        const N: usize = 2000;
+        let d = AbpDeque::new(64);
+        d.set_start_index(u32::MAX - 500);
+        let taken = Mutex::new(Vec::<usize>::new());
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        match d.pop_top() {
+                            Steal::Ok(j) => local.push(j as usize),
+                            Steal::Abort => continue,
+                            _ => {
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    taken.lock().unwrap().extend(local);
+                });
+            }
+            let mut local = Vec::new();
+            for i in 1..=N {
+                d.push_bottom(job(i));
+                if i % 3 == 0 {
+                    if let Some(j) = d.pop_bottom() {
+                        local.push(j as usize);
+                    }
+                }
+            }
+            while let Some(j) = d.pop_bottom() {
+                local.push(j as usize);
+            }
+            done.store(true, Ordering::Release);
+            taken.lock().unwrap().extend(local);
+        });
+
+        let all = taken.into_inner().unwrap();
+        let set: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "a task was executed twice");
+        assert_eq!(set.len(), N, "a task was lost");
     }
 
     #[test]

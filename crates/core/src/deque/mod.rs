@@ -23,6 +23,21 @@ pub use split::{double2int, ExposurePolicy, PopBottomMode, SplitDeque};
 
 use crate::job::Job;
 
+/// Wrap-safe signed distance `a - b` between two absolute ring indices.
+///
+/// Absolute `u32` indices are monotone within an era but wrap modulo 2³²,
+/// so direct `<`/`>` comparisons are wrong once a long-lived deque (a
+/// `serve`-mode pool that never drains) pushes through the wrap. The
+/// two's-complement reinterpretation is exact whenever the true distance
+/// lies in `[-2³¹, 2³¹)` — guaranteed here because every live extent the
+/// protocols compare (`bot - top`, `bot - public_bot`, `public_bot - top`)
+/// is bounded by [`MAX_DEQUE_CAPACITY`] = 2³⁰, and the transient
+/// negatives (the §4 signal-safe decrement-then-compare) are `-1`.
+#[inline(always)]
+pub(crate) fn sdist(a: u32, b: u32) -> i32 {
+    a.wrapping_sub(b) as i32
+}
+
 /// Error of a fallible bottom push. With growable rings this is nearly
 /// extinct: it arises only when the `faultpoints` layer forces the
 /// `PushBottom` or `DequeResize` outcome, or when the ring already sits at

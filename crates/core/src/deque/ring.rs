@@ -33,18 +33,23 @@
 //!
 //! Absolute indices are `u32`, like the paper's. Because every capacity is
 //! a power of two (and so divides 2³²), slot addressing stays consistent
-//! even across index wrap-around, but the protocols' ordering comparisons
-//! (`bot > top` …) do not — a deque must hit an empty-reset at least once
-//! per 2³² pushes. Growth is capped at [`MAX_DEQUE_CAPACITY`] slots; a push
-//! that would need more reports [`DequeFull`] and the scheduler degrades to
-//! the legacy inline fallback.
+//! even across index wrap-around, and the protocols' ordering comparisons
+//! go through the wrap-safe signed distance (`crate::deque::sdist`), which
+//! is exact while every live extent stays below 2³¹ — guaranteed by the
+//! [`MAX_DEQUE_CAPACITY`] = 2³⁰ cap. A deque on a long-lived `serve` pool
+//! can therefore push straight through the 2³² wrap mid-era; no empty-reset
+//! is required for correctness (the wraparound tests in `split.rs`/`abp.rs`
+//! start their indices at `u32::MAX - ε` and cross the boundary live).
+//! Growth is capped at [`MAX_DEQUE_CAPACITY`] slots; a push that would need
+//! more reports [`DequeFull`] and the scheduler degrades to the legacy
+//! inline fallback.
 
 use std::cell::{Cell, UnsafeCell};
 use std::sync::atomic::Ordering;
 
 use lcws_metrics as metrics;
 
-use crate::deque::DequeFull;
+use crate::deque::{sdist, DequeFull};
 use crate::fault::{self, Site};
 use crate::job::Job;
 use crate::model::shim::{AtomicPtr, SchedPtr};
@@ -179,9 +184,10 @@ impl GrowableRing {
     ) -> Result<&'a RingBuffer, DequeFull> {
         let top = load_top();
         self.cached_top.set(top);
-        // `b < top` is the split deque's transient SignalSafe-miss state
-        // (`bot` decremented below `public_bot`); not a full ring.
-        if b < top || b.wrapping_sub(top) < buf.capacity() {
+        // `b` behind `top` is the split deque's transient SignalSafe-miss
+        // state (`bot` decremented below `public_bot`); not a full ring.
+        // Signed distance, not `<`: either index may have wrapped.
+        if sdist(b, top) < 0 || b.wrapping_sub(top) < buf.capacity() {
             return Ok(buf);
         }
         self.grow(b, buf)
@@ -203,7 +209,9 @@ impl GrowableRing {
         // (Relaxed) copies: the publish below releases them, and the old
         // ring is the owner's own data.
         for i in 0..old_cap {
-            let idx = b - old_cap + i;
+            // Wrapping: the live window `[b - old_cap, b)` may straddle the
+            // u32 boundary on a long-lived (never-reset) deque.
+            let idx = b.wrapping_sub(old_cap).wrapping_add(i);
             new_buf
                 .slot(idx)
                 .store(old.slot(idx).load(Ordering::Relaxed), Ordering::Relaxed);
@@ -226,6 +234,14 @@ impl GrowableRing {
     #[inline(always)]
     pub(crate) fn reset_top_bound(&self) {
         self.cached_top.set(0);
+    }
+
+    /// Owner (test hook): seed the cached `top` bound at an arbitrary
+    /// absolute index. Used by the deques' `#[doc(hidden)]`
+    /// `set_start_index` hooks, which start an era near `u32::MAX` to
+    /// exercise index wraparound.
+    pub(crate) fn set_top_bound(&self, bound: u32) {
+        self.cached_top.set(bound);
     }
 
     /// Free every retired ring; returns how many were freed.

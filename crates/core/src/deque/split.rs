@@ -31,12 +31,16 @@
 //! can interrupt the owner *between any two instructions* of `pop_bottom`.
 //! [`PopBottomMode::SignalSafe`] implements the paper's fix: decrement `bot`
 //! first, then compare with `public_bot` (`--bot < public_bot`), with
-//! `pop_public_bottom` resetting `bot ← 0` when it finds `public_bot == 0`.
-//! One extra guard not spelled out in the listing: when `bot == 0` the
-//! deque is provably empty (`public ⊆ [0, bot)`), and the unsigned
-//! decrement of the listing would wrap — we return `None` before
-//! decrementing, which no handler interleaving can invalidate because the
-//! handler never modifies `bot` and never exposes past it.
+//! `pop_public_bottom` resetting `bot ← 0` when it finds the deque at an
+//! empty era base. One extra guard not spelled out in the listing: when
+//! `bot == 0` **and** `public_bot == 0` the private part is provably empty
+//! (`public_bot == bot`), so we return `None` before decrementing, which no
+//! handler interleaving can invalidate because the handler never modifies
+//! `bot` and never exposes past it. `bot == 0` alone is *not* proof of
+//! emptiness: absolute indices wrap modulo 2³² on a long-lived `serve`
+//! deque, so every ordering comparison below goes through the wrap-safe
+//! signed distance ([`crate::deque::sdist`]) and every increment/decrement
+//! is wrapping.
 //!
 //! ## Growable storage
 //!
@@ -57,7 +61,7 @@ use lcws_metrics as metrics;
 
 use crate::age::{Age, AtomicAge};
 use crate::deque::ring::GrowableRing;
-use crate::deque::{DequeFull, Steal};
+use crate::deque::{sdist, DequeFull, Steal};
 use crate::fault::{self, Site};
 use crate::job::Job;
 // All index/age words go through the shim atomics: plain std atomics in
@@ -182,9 +186,9 @@ impl SplitDeque {
             .ring
             .for_push(b, || self.age.load(Ordering::Relaxed).top)?;
         buf.slot(b).store(task, Ordering::Relaxed);
-        self.bot.store(b + 1, Ordering::Relaxed);
+        self.bot.store(b.wrapping_add(1), Ordering::Relaxed);
         metrics::bump(metrics::Counter::Push);
-        trace::record(trace::EventKind::Push, b + 1);
+        trace::record(trace::EventKind::Push, b.wrapping_add(1));
         Ok(())
     }
 
@@ -218,7 +222,7 @@ impl SplitDeque {
                 if b == pb {
                     return None;
                 }
-                let b1 = b - 1;
+                let b1 = b.wrapping_sub(1);
                 self.bot.store(b1, Ordering::Relaxed);
                 let task = self.ring.owner().slot(b1).load(Ordering::Relaxed);
                 metrics::bump(metrics::Counter::LocalPop);
@@ -227,17 +231,18 @@ impl SplitDeque {
             }
             PopBottomMode::SignalSafe => {
                 // §4: `--bot < public_bot ? nullptr : deq[bot]`, plus the
-                // empty-deque guard discussed in the module docs.
+                // empty-private-part guard discussed in the module docs
+                // (`bot == 0` alone is not proof on a wrapped era).
                 let b = self.bot.load(Ordering::Relaxed);
-                if b == 0 {
+                if b == 0 && self.public_bot.load(Ordering::Relaxed) == 0 {
                     return None;
                 }
-                let b1 = b - 1;
+                let b1 = b.wrapping_sub(1);
                 self.bot.store(b1, Ordering::Relaxed);
                 // The §4 race window: a handler exposure landing between
                 // the decrement above and the comparison below.
                 fault::point(Site::PopBottom);
-                if b1 < self.public_bot.load(Ordering::Relaxed) {
+                if sdist(b1, self.public_bot.load(Ordering::Relaxed)) < 0 {
                     // A handler exposed the task under us; it is now public
                     // and must be taken via pop_public_bottom (which also
                     // repairs `bot`).
@@ -259,20 +264,23 @@ impl SplitDeque {
     pub fn pop_public_bottom(&self) -> Option<*mut Job> {
         fault::point(Site::PopPublicBottom);
         let pb0 = self.public_bot.load(Ordering::Relaxed);
-        if pb0 == 0 {
+        if pb0 == 0 && self.age.load(Ordering::Relaxed).top == 0 {
             // §4 modification: repair `bot` (the SignalSafe pop_bottom may
-            // have left it decremented below a now-empty deque).
+            // have left it decremented below a now-empty deque). The guard
+            // requires `top == 0` too: on a wrapped era `public_bot == 0`
+            // with `top` just below the boundary is a *live* public part
+            // `[top, 0)`, handled by the wrapping decrement below.
             self.bot.store(0, Ordering::Relaxed);
             return None;
         }
-        let pb = pb0 - 1;
+        let pb = pb0.wrapping_sub(1);
         self.public_bot.store(pb, Ordering::Relaxed);
         // Fence #1 (Listing 2 line 12): publish the decrement to thieves and
         // read an up-to-date `age`.
         shim::fence_seq_cst();
         let task = self.ring.owner().slot(pb).load(Ordering::Relaxed);
         let old_age = self.age.load(Ordering::Relaxed);
-        if pb > old_age.top {
+        if sdist(pb, old_age.top) > 0 {
             // More than one public task remained: the bottom-most one is
             // ours without contention. Private part is empty here (this
             // method is only called when pop_bottom failed), so `bot`
@@ -329,7 +337,7 @@ impl SplitDeque {
         metrics::bump(metrics::Counter::StealAttempt);
         let old_age = self.age.load(Ordering::Acquire);
         let pb = self.public_bot.load(Ordering::Acquire);
-        if pb > old_age.top {
+        if sdist(pb, old_age.top) > 0 {
             // Single buffer capture per steal, *after* the `age` load: the
             // CAS below fails whenever `top` moved, which is the only way
             // this ring's slot at `top` could have been overwritten or the
@@ -362,7 +370,7 @@ impl SplitDeque {
         // Public part empty: report whether private work exists so the thief
         // can request exposure. `bot` is an owner-local field read racily —
         // a stale value only costs a wasted notification or a retry.
-        if pb < self.bot.load(Ordering::Relaxed) {
+        if sdist(pb, self.bot.load(Ordering::Relaxed)) < 0 {
             metrics::bump(metrics::Counter::StealPrivate);
             Steal::PrivateWork
         } else {
@@ -380,9 +388,12 @@ impl SplitDeque {
         fault::point(Site::UpdatePublicBottom);
         let b = self.bot.load(Ordering::Relaxed);
         let pb = self.public_bot.load(Ordering::Relaxed);
+        // Private-part length; sdist keeps it exact across index wrap (the
+        // transient SignalSafe decrement can make it -1, clamped to 0).
+        let r = sdist(b, pb).max(0) as u32;
         let exposed = match policy {
             ExposurePolicy::One => {
-                if pb < b {
+                if r >= 1 {
                     1
                 } else {
                     0
@@ -392,14 +403,13 @@ impl SplitDeque {
                 // Expose only while ≥ 2 private tasks remain, so the task at
                 // `bot - 1` can never become public (keeps Standard
                 // pop_bottom race-free).
-                if pb + 1 < b {
+                if r >= 2 {
                     1
                 } else {
                     0
                 }
             }
             ExposurePolicy::Half => {
-                let r = b.saturating_sub(pb);
                 if r >= 3 {
                     double2int(r as f64 / 2.0) as u32
                 } else if r >= 1 {
@@ -410,10 +420,10 @@ impl SplitDeque {
             }
         };
         if exposed > 0 {
-            debug_assert!(pb + exposed <= b);
+            debug_assert!(exposed <= r);
             // Release pairs with the Acquire in pop_top so thieves see the
             // slot contents before the moved boundary.
-            self.public_bot.store(pb + exposed, Ordering::Release);
+            self.public_bot.store(pb.wrapping_add(exposed), Ordering::Release);
             metrics::bump_by(metrics::Counter::Exposure, exposed as u64);
             // May run in signal-handler context; the trace record is
             // async-signal-safe by design (see `crate::trace`).
@@ -435,7 +445,7 @@ impl SplitDeque {
     pub fn expose_all(&self) -> u32 {
         let b = self.bot.load(Ordering::Relaxed);
         let pb = self.public_bot.load(Ordering::Relaxed);
-        let exposed = b.saturating_sub(pb);
+        let exposed = sdist(b, pb).max(0) as u32;
         if exposed > 0 {
             // Release pairs with the Acquire in pop_top, exactly like
             // update_public_bottom: thieves must see the slot contents
@@ -468,13 +478,33 @@ impl SplitDeque {
         self.age.store(new_age, Ordering::Relaxed);
     }
 
+    /// Test hook: re-anchor an **empty, quiescent** deque so its next era
+    /// starts at absolute index `start`. Lets the wraparound tests (and the
+    /// `model` scenarios) reach the `u32` index boundary in a few pushes
+    /// instead of 2³² operations. Bumps the ABA tag like every other reset
+    /// path and reseeds the ring's cached top bound.
+    ///
+    /// Not part of the stable API; callable only with no concurrent owner,
+    /// thief, or handler, like [`SplitDeque::reset_for_respawn`].
+    #[doc(hidden)]
+    pub fn set_start_index(&self, start: u32) {
+        self.bot.store(start, Ordering::Relaxed);
+        self.public_bot.store(start, Ordering::Relaxed);
+        let new_age = Age {
+            tag: self.age.load(Ordering::Relaxed).tag.wrapping_add(1),
+            top: start,
+        };
+        self.age.store(new_age, Ordering::Relaxed);
+        self.ring.set_top_bound(start);
+    }
+
     /// Thief-side heuristic for the Conservative variant's notification
     /// condition (§4.1.1): does the victim hold at least two tasks?
     #[inline]
     pub fn has_two_tasks(&self) -> bool {
         let b = self.bot.load(Ordering::Relaxed);
         let top = self.age.load(Ordering::Relaxed).top;
-        b.saturating_sub(top) >= 2
+        sdist(b, top) >= 2
     }
 
     /// Number of tasks currently in the private part (owner-accurate,
@@ -482,21 +512,21 @@ impl SplitDeque {
     pub fn private_len(&self) -> u32 {
         let b = self.bot.load(Ordering::Relaxed);
         let pb = self.public_bot.load(Ordering::Relaxed);
-        b.saturating_sub(pb)
+        sdist(b, pb).max(0) as u32
     }
 
     /// Number of tasks currently in the public part (racy).
     pub fn public_len(&self) -> u32 {
         let pb = self.public_bot.load(Ordering::Relaxed);
         let top = self.age.load(Ordering::Relaxed).top;
-        pb.saturating_sub(top)
+        sdist(pb, top).max(0) as u32
     }
 
     /// Is the deque observably empty (racy)?
     pub fn is_empty(&self) -> bool {
         let b = self.bot.load(Ordering::Relaxed);
         let top = self.age.load(Ordering::Relaxed).top;
-        b <= top
+        sdist(b, top) <= 0
     }
 
     /// Raw `(bot, public_bot, age)` snapshot. For tests and the model
@@ -812,6 +842,128 @@ mod tests {
         }
         assert_eq!(d.generation(), 0, "steady-state reuse must not grow");
         assert_eq!(d.capacity(), 4);
+    }
+
+    #[test]
+    fn wraparound_expose_steal_pop_and_grow() {
+        // Start the era 8 slots below the u32 boundary and drive every
+        // protocol operation across the wrap: growth, exposure (the new
+        // public_bot lands exactly on 0), steals, SignalSafe pops, and the
+        // owner's public-bottom pops with a wrapped decrement.
+        let d = SplitDeque::new(4);
+        let start = u32::MAX - 7;
+        d.set_start_index(start);
+
+        for i in 1..=16 {
+            d.push_bottom(job(i)); // grows 4 -> 8 -> 16 across the wrap
+        }
+        assert_eq!(d.capacity(), 16);
+        assert_eq!(d.generation(), 2);
+        let (bot, pb, _) = d.raw_indices();
+        assert_eq!(bot, start.wrapping_add(16)); // == 8, numerically < pb
+        assert_eq!(pb, start);
+        assert!(bot < pb, "raw indices must be inverted across the wrap");
+        assert_eq!(d.private_len(), 16);
+        assert_eq!(d.public_len(), 0);
+        assert!(!d.is_empty());
+        assert!(d.has_two_tasks());
+        assert_eq!(d.pop_top(), Steal::PrivateWork);
+
+        // Half policy: r = 16, expose 8 — public_bot wraps to exactly 0.
+        assert_eq!(d.update_public_bottom(ExposurePolicy::Half), 8);
+        assert_eq!(d.raw_indices().1, 0);
+        assert_eq!(d.public_len(), 8);
+
+        // Thief steals the two oldest tasks across the top end.
+        assert_eq!(d.pop_top(), Steal::Ok(job(1)));
+        assert_eq!(d.pop_top(), Steal::Ok(job(2)));
+
+        // Owner drains the private part (indices 0..8 post-wrap).
+        for i in (9..=16).rev() {
+            assert_eq!(d.pop_bottom(PopBottomMode::SignalSafe), Some(job(i)));
+        }
+        assert_eq!(d.pop_bottom(PopBottomMode::SignalSafe), None);
+
+        // Public pops decrement public_bot back across the boundary
+        // (0 -> u32::MAX -> ...), ending in the canonical reset.
+        for i in (3..=8).rev() {
+            assert_eq!(d.pop_public_bottom(), Some(job(i)));
+        }
+        assert_eq!(d.pop_public_bottom(), None);
+        let (bot, pb, age) = d.raw_indices();
+        assert_eq!((bot, pb, age.top), (0, 0, 0));
+
+        // The re-anchored deque is fully usable in the fresh era.
+        d.push_bottom(job(99));
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(99)));
+    }
+
+    #[test]
+    fn wraparound_concurrent_stress_no_loss_no_duplication() {
+        // The concurrent stress, but with the era anchored just below the
+        // u32 boundary and a small initial ring so growth, exposure, steals,
+        // and pops all race across the wrap.
+        use std::collections::HashSet;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Mutex;
+
+        const N: usize = 2000;
+        let d = SplitDeque::new(8);
+        d.set_start_index(u32::MAX - 500);
+        let taken = Mutex::new(Vec::<usize>::new());
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        match d.pop_top() {
+                            Steal::Ok(j) => local.push(j as usize),
+                            _ => std::hint::spin_loop(),
+                        }
+                    }
+                    loop {
+                        match d.pop_top() {
+                            Steal::Ok(j) => local.push(j as usize),
+                            Steal::Abort => continue,
+                            _ => break,
+                        }
+                    }
+                    taken.lock().unwrap().extend(local);
+                });
+            }
+            let mut local = Vec::new();
+            for i in 1..=N {
+                d.push_bottom(job(i));
+                if i % 3 == 0 {
+                    d.update_public_bottom(ExposurePolicy::Half);
+                }
+                if i % 5 == 0 {
+                    if let Some(j) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                        local.push(j as usize);
+                    } else if let Some(j) = d.pop_public_bottom() {
+                        local.push(j as usize);
+                    }
+                }
+            }
+            loop {
+                if let Some(j) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                    local.push(j as usize);
+                } else if let Some(j) = d.pop_public_bottom() {
+                    local.push(j as usize);
+                } else {
+                    break;
+                }
+            }
+            done.store(true, Ordering::Release);
+            taken.lock().unwrap().extend(local);
+        });
+
+        let all = taken.into_inner().unwrap();
+        let set: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "a task was executed twice");
+        assert_eq!(set.len(), N, "a task was lost");
     }
 
     #[test]

@@ -110,10 +110,21 @@ pub enum Site {
     /// tasks only in the deque (where the dying-owner expose-all rescues
     /// them), never a task mid-transfer.
     WorkerLoop = 12,
+    /// External submission into the global injector
+    /// (`ThreadPool::spawn`/`spawn_batch`). *Failable*: a forced fire
+    /// rejects the enqueue and the producer runs the task inline on its
+    /// own thread — the injector's graceful-degradation path, mirroring
+    /// the deque-overflow inline fallback.
+    InjectorPush = 13,
+    /// Worker-side injector consumption (the batch pop between steal
+    /// attempts). A forced fire makes the pop round come back empty
+    /// (contention-storm simulation); delay/yield storms stretch the
+    /// Treiber-swap → ready-list window while producers keep pushing.
+    InjectorPop = 14,
 }
 
 /// Number of distinct [`Site`]s.
-pub const NUM_SITES: usize = 13;
+pub const NUM_SITES: usize = 15;
 
 /// What a site does when it fires, and how often it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,475 @@
+//! The global injector: lock-light MPMC ingress for external task
+//! submission ([`crate::ThreadPool::spawn`]), plus the joinable handle
+//! machinery ([`JoinHandle`]).
+//!
+//! ## Why not a third deque protocol
+//!
+//! The paper's deques are strictly owner + thieves; external producers have
+//! neither a deque nor a worker index, so submissions need a queue **any**
+//! thread can push into. The injector keeps the synchronization-light
+//! spirit by splitting producer and consumer sides:
+//!
+//! * **Producer side** (`incoming`): a Treiber stack of intrusively-linked
+//!   jobs ([`crate::job::Job::next_ptr`]). One CAS per push, no allocation
+//!   beyond the job itself, and [`Injector::push_batch`] links a whole
+//!   chain locally and publishes it with a *single* CAS regardless of batch
+//!   size.
+//! * **Consumer side** (`ready`): a plain `VecDeque` under a mutex that
+//!   only workers touch, and only when the advisory `len` gate says work
+//!   exists. A worker that wins the lock and finds `ready` empty grabs the
+//!   **entire** incoming stack with one `swap` and reverses it, restoring
+//!   global FIFO submission order. Workers then pop in small batches
+//!   (`INJECTOR_BATCH`), executing the first task and re-queueing the rest
+//!   into their own deque — so injector contention is paid once per batch,
+//!   not once per task, and stolen-from-injector work immediately becomes
+//!   stealable through the normal deque protocol.
+//!
+//! The steal loop consults the injector only after a failed steal round
+//! (`crate::worker::WorkerCtx::work_until`), so pools running pure
+//! fork-join never touch it. §4's signal-window argument is untouched:
+//! injector pops happen at task boundaries on the worker's own schedule,
+//! never from handler context, and submissions reach deques exclusively via
+//! `try_push_job` — the owner-only path the argument already covers.
+//!
+//! ## Handle lifecycle
+//!
+//! `spawn` wraps the user closure in a heap job that (1) runs it under
+//! `catch_unwind`, (2) publishes the result into the shared [`TaskState`]
+//! and wakes a blocked joiner, then (3) decrements the pool's outstanding
+//! count. The state machine is `PENDING → (WAITING) → DONE`: `WAITING` is
+//! entered only by a blocking external joiner (worker-thread joiners help
+//! run tasks instead of blocking — a blocked worker could deadlock the very
+//! pool that must run the task), and the completer takes the state's mutex
+//! before notifying iff it observed `WAITING`, the classic no-lost-wakeup
+//! handshake. Dropping a handle without joining is fine: the `Arc`ed state
+//! outlives the task, and an unjoined task's panic payload is simply
+//! dropped with the state (only `join` rethrows).
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::fault::{self, Site};
+use crate::job::Job;
+
+/// How many tasks a worker takes from the injector per visit: the first
+/// runs immediately, the rest go into the worker's own deque. Amortizes the
+/// consumer lock across a few tasks without letting one worker hoard a
+/// burst that parked workers should share.
+pub(crate) const INJECTOR_BATCH: usize = 4;
+
+/// The pool-global ingress queue. See the module docs for the protocol.
+pub(crate) struct Injector {
+    /// Treiber stack of freshly-pushed jobs (LIFO; reversed on transfer).
+    incoming: AtomicPtr<Job>,
+    /// Advisory population count. Incremented after a push publishes,
+    /// decremented as pops hand jobs out; `is_empty` is therefore a racy
+    /// gate — the eventcount protocol and the timed-park backstop cover
+    /// the transient windows, exactly like the deque emptiness checks.
+    len: AtomicUsize,
+    /// Consumer-side FIFO; worker-only, short critical sections.
+    ready: Mutex<std::collections::VecDeque<*mut Job>>,
+}
+
+// Job pointers cross threads with queue ownership-transfer discipline,
+// exactly like deque slots.
+unsafe impl Send for Injector {}
+unsafe impl Sync for Injector {}
+
+impl Injector {
+    pub(crate) fn new() -> Injector {
+        Injector {
+            incoming: AtomicPtr::new(ptr::null_mut()),
+            len: AtomicUsize::new(0),
+            ready: Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// Racy emptiness gate for the workers' parking recheck and steal-loop
+    /// fallback.
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len.load(Ordering::Relaxed) == 0
+    }
+
+    /// Approximate population (diagnostics and trace payloads).
+    #[inline]
+    pub(crate) fn approx_len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Push one job. One CAS on the uncontended path. On a `faultpoints`-
+    /// forced [`Site::InjectorPush`] fire the job is **not** enqueued and
+    /// ownership stays with the caller, which degrades to running it
+    /// inline — submissions are never lost.
+    pub(crate) fn push(&self, job: *mut Job) -> Result<(), *mut Job> {
+        if fault::fail_at(Site::InjectorPush) {
+            return Err(job);
+        }
+        self.push_chain(job, job, 1);
+        Ok(())
+    }
+
+    /// Push `jobs` as one chain with a single CAS. The slice order is
+    /// submission order (restored on the consumer side by the reversal).
+    /// Fault-forced rejection returns the whole batch to the caller.
+    pub(crate) fn push_batch(&self, jobs: &[*mut Job]) -> Result<(), ()> {
+        let (&first, rest) = match jobs.split_first() {
+            Some(s) => s,
+            None => return Ok(()),
+        };
+        if fault::fail_at(Site::InjectorPush) {
+            return Err(());
+        }
+        // Link locally: stack order is reversed submission order, so chain
+        // the slice back-to-front and publish the *last* element as head.
+        let mut head = first;
+        for &job in rest {
+            // Safety: the caller owns every job until the CAS publishes.
+            unsafe { (*job).next_ptr().store(head, Ordering::Relaxed) };
+            head = job;
+        }
+        self.push_chain(head, first, jobs.len());
+        Ok(())
+    }
+
+    /// Publish a pre-linked chain (`head` newest … `tail` oldest).
+    fn push_chain(&self, head: *mut Job, tail: *mut Job, n: usize) {
+        let mut cur = self.incoming.load(Ordering::Relaxed);
+        loop {
+            // Safety: `tail` is caller-owned until the CAS below succeeds.
+            unsafe { (*tail).next_ptr().store(cur, Ordering::Relaxed) };
+            // Release publishes the chain links and the jobs' closures.
+            match self.incoming.compare_exchange_weak(
+                cur,
+                head,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        self.len.fetch_add(n, Ordering::Release);
+    }
+
+    /// Worker-side batch pop: up to `max` jobs in FIFO submission order.
+    /// Returns an empty vec when the gate reads empty, the consumer lock is
+    /// contended (another worker is already draining — let it), or a
+    /// `faultpoints`-forced [`Site::InjectorPop`] fire empties the round.
+    pub(crate) fn pop_batch(&self, max: usize) -> Vec<*mut Job> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        if fault::fail_at(Site::InjectorPop) {
+            return Vec::new();
+        }
+        let mut ready = match self.ready.try_lock() {
+            Some(g) => g,
+            None => return Vec::new(),
+        };
+        if ready.is_empty() {
+            // Take the whole incoming stack in one swap; Acquire pairs with
+            // the push's Release so the chain links are visible.
+            let mut node = self.incoming.swap(ptr::null_mut(), Ordering::Acquire);
+            while !node.is_null() {
+                // Safety: the swap transferred ownership of the chain.
+                let next = unsafe { (*node).next_ptr().swap(ptr::null_mut(), Ordering::Relaxed) };
+                // Stack order is newest-first: push_front restores FIFO.
+                ready.push_front(node);
+                node = next;
+            }
+        }
+        let take = max.min(ready.len());
+        let batch: Vec<*mut Job> = ready.drain(..take).collect();
+        drop(ready);
+        if !batch.is_empty() {
+            self.len.fetch_sub(batch.len(), Ordering::Release);
+        }
+        batch
+    }
+}
+
+impl Drop for Injector {
+    fn drop(&mut self) {
+        // `shutdown` drains `outstanding` to zero before the pool drops, so
+        // a non-empty injector here means the drain protocol was bypassed
+        // (e.g. a panicking teardown). Executing foreign closures inside a
+        // destructor is worse than leaking them; leak loudly instead.
+        debug_assert!(
+            self.is_empty(),
+            "injector dropped with {} task(s) queued",
+            self.approx_len()
+        );
+    }
+}
+
+/// Result of a completed spawned task: the value, or the panic payload.
+type TaskResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+const PENDING: u8 = 0;
+const WAITING: u8 = 1;
+const DONE: u8 = 2;
+
+/// Shared completion state behind a [`JoinHandle`].
+pub(crate) struct TaskState<T> {
+    /// `PENDING → (WAITING) → DONE`; see the module docs.
+    status: AtomicU8,
+    sync: Mutex<()>,
+    cv: Condvar,
+    /// Written once by the completer (before the `DONE` swap releases it),
+    /// taken once by the joiner (after acquiring `DONE`).
+    result: UnsafeCell<Option<TaskResult<T>>>,
+}
+
+// The result crosses from the executing worker to the joiner; the status
+// handshake (Release swap / Acquire load) is the synchronization.
+unsafe impl<T: Send> Send for TaskState<T> {}
+unsafe impl<T: Send> Sync for TaskState<T> {}
+
+impl<T> TaskState<T> {
+    pub(crate) fn new() -> TaskState<T> {
+        TaskState {
+            status: AtomicU8::new(PENDING),
+            sync: Mutex::new(()),
+            cv: Condvar::new(),
+            result: UnsafeCell::new(None),
+        }
+    }
+
+    /// Completer side: publish the result and wake a blocked joiner.
+    pub(crate) fn complete(&self, result: TaskResult<T>) {
+        // Safety: exactly one completer (the task runs once), and no reader
+        // touches the slot until `DONE` is visible.
+        unsafe { *self.result.get() = Some(result) };
+        let prev = self.status.swap(DONE, Ordering::AcqRel);
+        if prev == WAITING {
+            // Taking the lock orders us after the joiner's last status
+            // check inside its wait loop: the notify cannot land in the
+            // window between that check and the condvar enqueue.
+            let _g = self.sync.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_done(&self) -> bool {
+        self.status.load(Ordering::Acquire) == DONE
+    }
+
+    /// Block the calling (non-worker) thread until completion.
+    fn block_until_done(&self) {
+        if self.is_done() {
+            return;
+        }
+        // Announce the waiter; a failed CAS means DONE beat us to it.
+        if self
+            .status
+            .compare_exchange(PENDING, WAITING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        let mut g = self.sync.lock();
+        while self.status.load(Ordering::Acquire) != DONE {
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Take the result after `is_done`.
+    ///
+    /// # Safety
+    /// At most once, only after `is_done()` returned true.
+    unsafe fn take_result(&self) -> TaskResult<T> {
+        (*self.result.get()).take().expect("task result taken twice")
+    }
+}
+
+/// An owned handle to a task submitted with [`crate::ThreadPool::spawn`].
+///
+/// Dropping the handle detaches the task (it still runs to completion
+/// before [`crate::ThreadPool::shutdown`] returns); [`JoinHandle::join`]
+/// blocks until completion and returns the closure's value, rethrowing its
+/// panic. Joining **from a worker thread** (e.g. inside another task) helps
+/// execute queued work instead of blocking, so a task may join a sibling
+/// without deadlocking the pool.
+pub struct JoinHandle<T> {
+    pub(crate) state: Arc<TaskState<T>>,
+}
+
+impl<T: Send> JoinHandle<T> {
+    /// Has the task finished (successfully or by panicking)?
+    pub fn is_finished(&self) -> bool {
+        self.state.is_done()
+    }
+
+    /// Wait for the task and return its result, rethrowing the task's
+    /// panic on this thread.
+    pub fn join(self) -> T {
+        let ctx = crate::worker::current_ctx();
+        if ctx.is_null() {
+            self.state.block_until_done();
+        } else {
+            // Worker thread: helping loop. The completion wake is useless
+            // here (we must keep scheduling to make progress), so run
+            // local/stolen/injector work until the state flips.
+            // Safety: installed ctx pointers outlive the call on this
+            // thread (CtxGuard discipline).
+            unsafe { crate::worker::help_until(&*ctx, || self.state.is_done()) };
+        }
+        // Safety: DONE observed; sole consumer (join takes self).
+        match unsafe { self.state.take_result() } {
+            Ok(v) => v,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("finished", &self.state.is_done())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The opaque-cookie trick from the deque tests cannot exercise the
+    // intrusive link (push dereferences `next_ptr`), so these tests use
+    // real no-op heap jobs throughout.
+    fn real_job() -> *mut Job {
+        crate::job::HeapJob::push_new(|| {})
+    }
+
+    #[test]
+    fn fifo_order_across_push_and_batch() {
+        let inj = Injector::new();
+        let a = real_job();
+        let b = real_job();
+        let c = real_job();
+        let d = real_job();
+        inj.push(a).unwrap();
+        inj.push_batch(&[b, c]).unwrap();
+        inj.push(d).unwrap();
+        assert_eq!(inj.approx_len(), 4);
+        let got = inj.pop_batch(16);
+        assert_eq!(got, vec![a, b, c, d], "submission order must survive");
+        assert!(inj.is_empty());
+        for j in got {
+            // Execute to free the heap jobs.
+            unsafe { Job::execute(j) };
+        }
+    }
+
+    #[test]
+    fn pop_batch_caps_at_max_and_preserves_remainder() {
+        let inj = Injector::new();
+        let jobs: Vec<_> = (0..7).map(|_| real_job()).collect();
+        inj.push_batch(&jobs).unwrap();
+        let first = inj.pop_batch(4);
+        assert_eq!(first, jobs[..4]);
+        assert_eq!(inj.approx_len(), 3);
+        let rest = inj.pop_batch(4);
+        assert_eq!(rest, jobs[4..]);
+        assert!(inj.pop_batch(4).is_empty());
+        for j in jobs {
+            unsafe { Job::execute(j) };
+        }
+    }
+
+    #[test]
+    fn empty_pop_is_cheap_and_empty_batch_push_ok() {
+        let inj = Injector::new();
+        assert!(inj.pop_batch(4).is_empty());
+        inj.push_batch(&[]).unwrap();
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_no_loss_no_duplication() {
+        use std::collections::HashSet;
+
+        const PRODUCERS: usize = 8;
+        const PER: usize = 500;
+        let inj = Injector::new();
+        let taken = Mutex::new(Vec::<usize>::new());
+        // Producers push real jobs tagged via a side map (addresses as
+        // plain usize so the map is Send); consumers drain until every
+        // producer finished *and* the queue reads empty.
+        let ids = Mutex::new(std::collections::HashMap::<usize, usize>::new());
+        let producing = AtomicUsize::new(PRODUCERS);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let inj = &inj;
+                let ids = &ids;
+                let producing = &producing;
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let j = real_job();
+                        ids.lock().insert(j as usize, p * PER + i);
+                        inj.push(j).unwrap();
+                    }
+                    producing.fetch_sub(1, Ordering::Release);
+                });
+            }
+            for _ in 0..2 {
+                let inj = &inj;
+                let taken = &taken;
+                let ids = &ids;
+                let producing = &producing;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let batch = inj.pop_batch(INJECTOR_BATCH);
+                        if batch.is_empty() {
+                            if producing.load(Ordering::Acquire) == 0 && inj.is_empty() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                            continue;
+                        }
+                        for j in batch {
+                            local.push(ids.lock()[&(j as usize)]);
+                            unsafe { Job::execute(j) };
+                        }
+                    }
+                    taken.lock().extend(local);
+                });
+            }
+        });
+        let all = taken.into_inner();
+        let set: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "a task was executed twice");
+        assert_eq!(set.len(), PRODUCERS * PER, "a task was lost");
+    }
+
+    #[test]
+    fn task_state_handshake_external_join() {
+        let state = Arc::new(TaskState::<u32>::new());
+        let s2 = Arc::clone(&state);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            s2.complete(Ok(42));
+        });
+        let h = JoinHandle { state };
+        assert_eq!(h.join(), 42);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn task_state_done_before_join_does_not_block() {
+        let state = Arc::new(TaskState::<&'static str>::new());
+        state.complete(Ok("done"));
+        let h = JoinHandle { state };
+        assert!(h.is_finished());
+        assert_eq!(h.join(), "done");
+    }
+}

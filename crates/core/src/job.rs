@@ -20,7 +20,12 @@
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, Ordering};
+
+/// Sentinel for [`Job`]'s waiter slot: no worker registered for a
+/// completion wake.
+pub(crate) const NO_WAITER: u32 = u32::MAX;
 
 /// Common header of every job. Must be the first field of each concrete
 /// job type so a `*mut Job` can be recovered from the concrete pointer.
@@ -31,6 +36,15 @@ pub struct Job {
     /// Set (release) after the job body finished — successfully or by
     /// panicking. Waiters acquire-load it before touching the result.
     done: AtomicBool,
+    /// Intrusive link for the global injector's incoming stack; null while
+    /// the job is not enqueued there (deque-resident jobs never use it).
+    next: AtomicPtr<Job>,
+    /// Worker index of a join waiter registered for a targeted completion
+    /// wake, or [`NO_WAITER`]. Read by the executor immediately *before*
+    /// publishing `done` — once `done` is visible the waiter may return and
+    /// free the job, so the executor must never touch the header after that
+    /// store (see [`Job::mark_done`]).
+    waiter: AtomicU32,
 }
 
 impl Job {
@@ -38,6 +52,8 @@ impl Job {
         Job {
             run_fn,
             done: AtomicBool::new(false),
+            next: AtomicPtr::new(ptr::null_mut()),
+            waiter: AtomicU32::new(NO_WAITER),
         }
     }
 
@@ -58,8 +74,42 @@ impl Job {
         self.done.load(Ordering::Acquire)
     }
 
-    fn mark_done(&self) {
+    /// Publish completion and return the waiter registered for a targeted
+    /// wake (or [`NO_WAITER`]).
+    ///
+    /// The waiter slot is loaded **before** the `done` store on purpose: a
+    /// joiner that observes `done` may immediately return and pop the
+    /// `StackJob`'s frame (or a `HeapJob` free itself), so this is the last
+    /// instant the header is guaranteed alive. The caller delivers the wake
+    /// through pool state, never through the job. A registration landing
+    /// after this load and before the waiter's park-recheck can miss both
+    /// signals; the waiter's timed backstop bounds that window (see
+    /// `crate::sleep`).
+    fn mark_done(&self) -> u32 {
+        let waiter = self.waiter.load(Ordering::SeqCst);
         self.done.store(true, Ordering::Release);
+        waiter
+    }
+
+    /// Register worker `index` for a targeted wake when this job completes.
+    /// SeqCst so the store orders with the sleeper-mask announcement that
+    /// follows in `park` (see `crate::sleep` for the pairing argument).
+    #[inline]
+    pub(crate) fn set_waiter(&self, index: u32) {
+        self.waiter.store(index, Ordering::SeqCst);
+    }
+
+    /// Withdraw a completion-wake registration.
+    #[inline]
+    pub(crate) fn clear_waiter(&self) {
+        self.waiter.store(NO_WAITER, Ordering::SeqCst);
+    }
+
+    /// Intrusive injector link (crate-internal; used only while the job
+    /// sits in the global injector's incoming stack).
+    #[inline]
+    pub(crate) fn next_ptr(&self) -> &AtomicPtr<Job> {
+        &self.next
     }
 }
 
@@ -110,7 +160,11 @@ where
             .expect("StackJob executed twice");
         let result = panic::catch_unwind(AssertUnwindSafe(func));
         *(*this).result.get() = Some(result.map_err(|e| e as Box<dyn Any + Send>));
-        (*this).job.mark_done();
+        // `mark_done` may be the frame's last valid access (the joiner can
+        // return as soon as `done` is visible); the wake goes through pool
+        // state only.
+        let waiter = (*this).job.mark_done();
+        crate::worker::wake_waiter(waiter);
     }
 
     /// Take the result after observing `is_done()`, rethrowing a panic from
@@ -173,7 +227,9 @@ where
         // (see `scope`); an unwind past this frame would abort, so `func`
         // is always a non-unwinding wrapper.
         func();
-        this.job.mark_done();
+        let waiter = this.job.mark_done();
+        drop(this);
+        crate::worker::wake_waiter(waiter);
     }
 }
 

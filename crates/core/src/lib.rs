@@ -67,6 +67,7 @@ mod age;
 mod api;
 pub mod deque;
 pub mod fault;
+mod injector;
 mod job;
 pub mod model;
 mod pool;
@@ -81,6 +82,7 @@ pub use api::{
     default_grain, in_pool, join, num_workers, par_for, par_for_grain, scope, worker_index, Scope,
 };
 pub use deque::{double2int, ExposurePolicy, PopBottomMode, SplitDeque};
+pub use injector::JoinHandle;
 pub use job::Job;
 pub use pool::{PoolBuilder, ThreadPool};
 pub use signal::EXPOSE_SIGNAL;

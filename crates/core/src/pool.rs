@@ -8,12 +8,22 @@
 //! semantics guarantee every transitively spawned task has completed by
 //! then — after which helpers flush their synchronization counters and
 //! quiesce before `run` returns, so [`ThreadPool::metrics`] is exact.
+//!
+//! A second, open-ended mode serves **external ingress**: between
+//! [`ThreadPool::serve`] and [`ThreadPool::shutdown`] the helpers run a
+//! long-lived generation with no worker 0, and *any* thread may submit
+//! tasks through [`ThreadPool::spawn`] / [`ThreadPool::spawn_batch`], which
+//! route through the pool-global [`crate::injector`] and return joinable
+//! handles. `shutdown` drains the outstanding-task count to zero, closes
+//! the generation with the same quiescence handshake as `run`, and returns
+//! the serve window's metrics snapshot. The two modes share one exclusion
+//! (`run` blocks while a serve window is open, and vice versa).
 
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::thread::JoinHandle as ThreadJoinHandle;
 use std::time::Duration;
 
 use crossbeam_utils::CachePadded;
@@ -21,6 +31,8 @@ use lcws_metrics::{Collector, Counter, Snapshot};
 use parking_lot::{Condvar, Mutex};
 
 use crate::deque::{AbpDeque, SplitDeque, DEFAULT_DEQUE_CAPACITY};
+use crate::injector::{Injector, JoinHandle, TaskState};
+use crate::job::{HeapJob, Job};
 use crate::signal;
 use crate::sleep::{IdlePolicy, Sleep};
 #[cfg(feature = "trace")]
@@ -137,6 +149,19 @@ pub(crate) struct PoolInner {
     pub(crate) sleep: Sleep,
     /// Idle escalation policy the workers run with.
     pub(crate) idle: IdlePolicy,
+    /// Global ingress queue for externally-submitted tasks (`spawn`).
+    /// Workers fall back to it after a fruitless steal round.
+    pub(crate) injector: Injector,
+    /// Spawned-but-not-completed task count of the current serve window;
+    /// `shutdown` drains it to zero before closing the generation.
+    outstanding: AtomicUsize,
+    /// A serve window is open: `spawn` is accepted.
+    serving: AtomicBool,
+    /// `shutdown` has begun draining; new `spawn`s are rejected so
+    /// `outstanding` can only fall.
+    draining: AtomicBool,
+    /// Signalled (under `sync`) when `outstanding` hits zero mid-drain.
+    drain_cv: Condvar,
     /// Run generation; bumped (under `sync`) to start a run.
     epoch: AtomicU64,
     /// Last completed generation; helpers exit their work loop when it
@@ -164,6 +189,26 @@ pub(crate) struct PoolInner {
     /// close), handed out by `ThreadPool::take_trace`.
     #[cfg(feature = "trace")]
     trace_last: Mutex<Option<trace::Trace>>,
+}
+
+impl PoolInner {
+    /// Completion side of the serve window's outstanding count, called by
+    /// every spawned task's wrapper (and by `spawn`'s validation undo).
+    ///
+    /// SeqCst pairing with `shutdown`: in the single total order, either
+    /// this decrement precedes `draining.store(true)` — then `shutdown`'s
+    /// subsequent `outstanding` read sees it — or it follows, in which case
+    /// the `draining` load here reads `true` and the notification is taken.
+    /// The notify happens under `sync`, the same lock `shutdown` holds
+    /// across its check-then-wait, so the signal cannot fall into that gap.
+    pub(crate) fn task_done(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1
+            && self.draining.load(Ordering::SeqCst)
+        {
+            let _g = self.sync.lock();
+            self.drain_cv.notify_all();
+        }
+    }
 }
 
 /// Builder for [`ThreadPool`].
@@ -266,6 +311,11 @@ impl PoolBuilder {
             variant: self.variant,
             sleep: Sleep::new(threads),
             idle: self.idle,
+            injector: Injector::new(),
+            outstanding: AtomicUsize::new(0),
+            serving: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            drain_cv: Condvar::new(),
             workers,
             collector: Collector::new(),
             epoch: AtomicU64::new(0),
@@ -339,7 +389,8 @@ impl PoolBuilder {
         ThreadPool {
             inner,
             handles: Mutex::new(handles),
-            run_lock: Mutex::new(()),
+            run_state: Mutex::new(false),
+            run_free: Condvar::new(),
         }
     }
 }
@@ -361,9 +412,15 @@ pub struct ThreadPool {
     inner: Arc<PoolInner>,
     /// Slot `i` holds the join handle of helper `i + 1` (`None` while a
     /// dead helper awaits respawn, or after a failed respawn).
-    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
-    /// Serializes `run` calls from different threads.
-    run_lock: Mutex<()>,
+    handles: Mutex<Vec<Option<ThreadJoinHandle<()>>>>,
+    /// `true` while a `run` call or an open serve window owns the pool's
+    /// generation machinery. A plain `Mutex<()>` guard cannot express the
+    /// serve case — the exclusion must span `serve()`'s return and be
+    /// released by `shutdown()`, possibly on a different thread — so this
+    /// is a hand-rolled lock: flag + condvar.
+    run_state: Mutex<bool>,
+    /// Signalled when `run_state` flips back to `false`.
+    run_free: Condvar,
 }
 
 impl ThreadPool {
@@ -401,7 +458,7 @@ impl ThreadPool {
             current_ctx().is_null(),
             "ThreadPool::run may not be nested inside a pool run"
         );
-        let _serial = self.run_lock.lock();
+        let _serial = self.acquire_run();
         // Self-heal: respawn any helper that died in a previous run before
         // this generation opens (must precede the collector reset below so
         // the respawn counts land in *this* run's metrics).
@@ -523,6 +580,317 @@ impl ThreadPool {
         }
     }
 
+    /// Block until no `run` call or serve window owns the pool, then claim
+    /// it. Returns a guard for `run`'s scoped use; `serve` forgets the
+    /// guard and `shutdown` releases manually.
+    fn acquire_run(&self) -> RunToken<'_> {
+        let mut busy = self.run_state.lock();
+        while *busy {
+            self.run_free.wait(&mut busy);
+        }
+        *busy = true;
+        RunToken { pool: self }
+    }
+
+    fn release_run(&self) {
+        let mut busy = self.run_state.lock();
+        debug_assert!(*busy, "release_run without a claimed pool");
+        *busy = false;
+        // One waiter can make progress; the rest re-block behind it.
+        self.run_free.notify_one();
+    }
+
+    /// Open a serve window: the helpers start a long-lived generation with
+    /// no worker 0, and [`ThreadPool::spawn`] becomes available from any
+    /// thread until [`ThreadPool::shutdown`] closes the window. Blocks
+    /// while a `run` call (or another serve window) owns the pool.
+    ///
+    /// Like `run`, resets the metrics collector: the snapshot `shutdown`
+    /// returns covers exactly this window.
+    ///
+    /// A window executes on helpers only (worker 0 is the seat `run`'s
+    /// caller occupies), so a `threads = 1` pool serves with **zero**
+    /// executors: submissions queue up and are drained inline by
+    /// `shutdown`. On such a pool, `JoinHandle::join` from a non-worker
+    /// thread before `shutdown` would wait on work nobody will run —
+    /// join after shutdown, or give the pool at least two workers.
+    pub fn serve(&self) {
+        assert!(
+            current_ctx().is_null(),
+            "ThreadPool::serve may not be nested inside a pool run"
+        );
+        let token = self.acquire_run();
+        // The exclusion now spans until shutdown(); drop the guard without
+        // releasing.
+        std::mem::forget(token);
+        let pool = &*self.inner;
+        let (respawned, stray_deaths) = self.heal_dead_workers();
+        lcws_metrics::touch();
+        lcws_metrics::reset_local();
+        pool.collector.reset();
+        pool.collector
+            .add(Counter::WorkerRespawn, respawned.len() as u64);
+        pool.collector.add(Counter::WorkerDeath, stray_deaths);
+        #[cfg(feature = "trace")]
+        {
+            // Helpers are parked between generations; nobody records while
+            // the rings reset (the serving thread installs no ctx at all).
+            for w in pool.workers.iter() {
+                w.trace.reset();
+            }
+            for &index in &respawned {
+                pool.workers[0]
+                    .trace
+                    .record_now(trace::EventKind::WorkerRespawn, index);
+            }
+        }
+        pool.draining.store(false, Ordering::SeqCst);
+        pool.serving.store(true, Ordering::SeqCst);
+        // Open the generation (under the lock to avoid lost wakeups).
+        // Unlike `run`, worker 0 does not participate: its deque stays
+        // empty and unregistered, thieves that pick it just find nothing.
+        let _g = pool.sync.lock();
+        let live = pool
+            .workers
+            .iter()
+            .skip(1)
+            .filter(|w| !w.dead.load(Ordering::Acquire))
+            .count();
+        pool.active.store(live, Ordering::Release);
+        pool.epoch.fetch_add(1, Ordering::AcqRel);
+        pool.start_cv.notify_all();
+    }
+
+    /// Submit `f` to the pool from any thread and get a [`JoinHandle`] to
+    /// its result. Requires an open serve window (see [`ThreadPool::serve`]);
+    /// panics otherwise.
+    ///
+    /// The task is pushed into the global injector, a parked worker is
+    /// woken for it, and workers pull it (batched) after their next
+    /// fruitless steal round. A `faultpoints`-forced injector-push failure
+    /// degrades to running the task inline on the submitting thread —
+    /// submissions are never lost.
+    ///
+    /// ```
+    /// use lcws_core::{PoolBuilder, Variant};
+    ///
+    /// let pool = PoolBuilder::new(Variant::Signal).threads(4).build();
+    /// pool.serve();
+    /// let handle = pool.spawn(|| 6 * 7);
+    /// assert_eq!(handle.join(), 42);
+    /// pool.shutdown();
+    /// ```
+    pub fn spawn<F, T>(&self, f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let pool = &*self.inner;
+        pool.outstanding.fetch_add(1, Ordering::SeqCst);
+        // Validate *after* counting (and undo on failure): the increment
+        // is what `shutdown`'s drain waits on, so counting first closes the
+        // race where a spawn slips between the drain's last-zero check and
+        // the generation close. See `task_done` for the SeqCst pairing.
+        if !pool.serving.load(Ordering::SeqCst) || pool.draining.load(Ordering::SeqCst) {
+            pool.task_done();
+            panic!("ThreadPool::spawn requires an open serve window (call serve() first)");
+        }
+        let state = Arc::new(TaskState::new());
+        let task_state = Arc::clone(&state);
+        let inner = Arc::clone(&self.inner);
+        let job = HeapJob::push_new(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            // Publish the result (waking a blocked joiner) *before* the
+            // outstanding decrement: once `shutdown` returns, every handle
+            // must already be joinable without blocking.
+            task_state.complete(result.map_err(|e| e as Box<dyn Any + Send>));
+            inner.task_done();
+        });
+        self.submit_job(job);
+        JoinHandle { state }
+    }
+
+    /// Submit a batch of tasks with a single injector publication (one CAS
+    /// for the whole batch) and one wake per batch. Same contract as
+    /// [`ThreadPool::spawn`], returning handles in submission order.
+    pub fn spawn_batch<F, T, I>(&self, tasks: I) -> Vec<JoinHandle<T>>
+    where
+        I: IntoIterator<Item = F>,
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let pool = &*self.inner;
+        let mut jobs: Vec<*mut Job> = Vec::new();
+        let mut handles = Vec::new();
+        for f in tasks {
+            pool.outstanding.fetch_add(1, Ordering::SeqCst);
+            if !pool.serving.load(Ordering::SeqCst) || pool.draining.load(Ordering::SeqCst) {
+                pool.task_done();
+                // The jobs wrapped so far are counted in `outstanding` and
+                // must not leak — but the window that would drain them is
+                // closing (or never opened), so injecting them could strand
+                // them forever. Run them inline instead, then fail.
+                for &job in &jobs {
+                    // Safety: never published; sole ownership.
+                    unsafe { Job::execute(job) };
+                }
+                panic!(
+                    "ThreadPool::spawn_batch requires an open serve window (call serve() first)"
+                );
+            }
+            let state = Arc::new(TaskState::new());
+            let task_state = Arc::clone(&state);
+            let inner = Arc::clone(&self.inner);
+            jobs.push(HeapJob::push_new(move || {
+                let result = panic::catch_unwind(AssertUnwindSafe(f));
+                task_state.complete(result.map_err(|e| e as Box<dyn Any + Send>));
+                inner.task_done();
+            }));
+            handles.push(JoinHandle { state });
+        }
+        self.submit_batch(&jobs);
+        handles
+    }
+
+    /// Publish one wrapped job to the injector (inline fallback on a
+    /// forced push failure) and wake a worker for it.
+    fn submit_job(&self, job: *mut Job) {
+        let pool = &*self.inner;
+        match pool.injector.push(job) {
+            Ok(()) => {
+                // External threads have no TLS metrics slot to flush, so
+                // ingress counters go to the collector directly; `trace` is
+                // a worker-ring no-op unless the submitter is itself a
+                // worker thread.
+                pool.collector.add(Counter::InjectorPush, 1);
+                crate::trace::record(crate::trace::EventKind::Inject, 1);
+                pool.sleep.wake_one();
+            }
+            Err(job) => {
+                pool.collector.add(Counter::OverflowInline, 1);
+                // Safety: the rejected job was never published; we are its
+                // sole owner.
+                unsafe { Job::execute(job) };
+            }
+        }
+    }
+
+    /// Batch analogue of `submit_job`.
+    fn submit_batch(&self, jobs: &[*mut Job]) {
+        if jobs.is_empty() {
+            return;
+        }
+        let pool = &*self.inner;
+        match pool.injector.push_batch(jobs) {
+            Ok(()) => {
+                pool.collector.add(Counter::InjectorPush, jobs.len() as u64);
+                crate::trace::record(crate::trace::EventKind::Inject, jobs.len() as u32);
+                pool.sleep.wake_one();
+            }
+            Err(()) => {
+                pool.collector.add(Counter::OverflowInline, jobs.len() as u64);
+                for &job in jobs {
+                    // Safety: rejected batch, sole ownership retained.
+                    unsafe { Job::execute(job) };
+                }
+            }
+        }
+    }
+
+    /// Close the serve window: reject further spawns, drain every
+    /// outstanding task, quiesce the helpers exactly like `run`'s close
+    /// path, and return the window's metrics snapshot. Panics if no serve
+    /// window is open. A task panic (of a spawned task whose handle was
+    /// dropped unjoined) does **not** resurface here — it lives in the
+    /// dropped handle's state; helper *deaths* resurface like in `run`.
+    pub fn shutdown(&self) -> Snapshot {
+        let pool = &*self.inner;
+        assert!(
+            pool.serving.load(Ordering::SeqCst),
+            "ThreadPool::shutdown without an open serve window"
+        );
+        pool.draining.store(true, Ordering::SeqCst);
+        if pool.workers.len() == 1 {
+            // No helpers exist to drain the injector: the shutting-down
+            // thread becomes worker 0 and drains inline.
+            let ctx = WorkerCtx::new(pool, 0);
+            let _guard = ctx.install();
+            while pool.outstanding.load(Ordering::SeqCst) != 0 {
+                if ctx.try_injector() {
+                    continue;
+                }
+                if let Some(job) = ctx.acquire_local() {
+                    ctx.execute(job);
+                    continue;
+                }
+                // Outstanding but not visible yet: a producer is between
+                // its count and its push, or an inline fallback is running
+                // elsewhere. Brief, bounded window.
+                std::hint::spin_loop();
+            }
+        } else {
+            let mut g = pool.sync.lock();
+            while pool.outstanding.load(Ordering::SeqCst) != 0 {
+                match pool.stall_timeout {
+                    None => pool.drain_cv.wait(&mut g),
+                    Some(timeout) => {
+                        let timed_out = pool.drain_cv.wait_for(&mut g, timeout).timed_out();
+                        if timed_out && pool.outstanding.load(Ordering::SeqCst) != 0 {
+                            pool.stall_reports.fetch_add(1, Ordering::Relaxed);
+                            drop(g);
+                            eprintln!("{}", stall_report(pool, "shutdown drain"));
+                            g = pool.sync.lock();
+                        }
+                    }
+                }
+            }
+        }
+        pool.serving.store(false, Ordering::SeqCst);
+        // Close the generation; from here this is `run`'s close path.
+        pool.done_epoch
+            .store(pool.epoch.load(Ordering::Acquire), Ordering::Release);
+        pool.sleep.wake_all();
+        lcws_metrics::flush_into(&pool.collector);
+        {
+            let mut g = pool.sync.lock();
+            while pool.active.load(Ordering::Acquire) != 0 {
+                match pool.stall_timeout {
+                    None => pool.quiesce_cv.wait(&mut g),
+                    Some(timeout) => {
+                        let timed_out = pool.quiesce_cv.wait_for(&mut g, timeout).timed_out();
+                        if timed_out && pool.active.load(Ordering::Acquire) != 0 {
+                            pool.stall_reports.fetch_add(1, Ordering::Relaxed);
+                            drop(g);
+                            eprintln!("{}", stall_report(pool, "shutdown quiescence"));
+                            g = pool.sync.lock();
+                        }
+                    }
+                }
+            }
+        }
+        for w in pool.workers.iter() {
+            // Safety: quiescence established above.
+            unsafe { w.deque.release_retired() };
+        }
+        #[cfg(feature = "trace")]
+        {
+            pool.workers[0]
+                .trace
+                .record_now(trace::EventKind::RunClose, 0);
+            let merged =
+                trace::Trace::merge(pool.workers.iter().map(|w| w.trace.drain()).collect());
+            *pool.trace_last.lock() = Some(merged);
+        }
+        let death = pool.death.lock().take();
+        pool.draining.store(false, Ordering::SeqCst);
+        let snapshot = pool.collector.snapshot();
+        self.release_run();
+        if let Some(payload) = death {
+            panic::resume_unwind(payload);
+        }
+        snapshot
+    }
+
     /// Run `f` and return its result together with the synchronization
     /// profile of the run (the paper's Figure 3/8 quantities).
     pub fn run_measured<F, T>(&self, f: F) -> (T, Snapshot)
@@ -641,8 +1009,31 @@ impl ThreadPool {
     }
 }
 
+/// Scoped ownership of the pool's generation machinery (`run`'s use of
+/// [`ThreadPool::acquire_run`]); releases on every exit path including the
+/// panic-resume ones. `serve` forgets its token and `shutdown` releases by
+/// hand, because their exclusion spans two calls (and possibly threads).
+struct RunToken<'a> {
+    pool: &'a ThreadPool,
+}
+
+impl Drop for RunToken<'_> {
+    fn drop(&mut self) {
+        self.pool.release_run();
+    }
+}
+
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        // A serve window left open at drop would strand injected tasks and
+        // leave helpers in a live generation; close it first. `shutdown`
+        // re-panics helper deaths — contain that here, destructors must
+        // not unwind.
+        if self.inner.serving.load(Ordering::SeqCst)
+            && panic::catch_unwind(AssertUnwindSafe(|| self.shutdown())).is_err()
+        {
+            eprintln!("lcws: shutdown during pool teardown resurfaced a worker death");
+        }
         {
             let _g = self.inner.sync.lock();
             self.inner.shutdown.store(true, Ordering::Release);

@@ -32,10 +32,10 @@
 //! the sleeper's mask publication precedes the waker's mask scan, and the
 //! waker delivers a wakeup through the slot (the `woken` flag absorbs a
 //! notify that lands before the wait starts). Either way, no wakeup is
-//! lost. As a belt-and-braces backstop against protocol-analysis slips
-//! (and because join/scope completion events deliberately do not wake —
-//! see below), every park is *timed*: a parked worker re-polls after
-//! [`PARK_TIMEOUT`] at the latest.
+//! lost. As a belt-and-braces backstop against protocol-analysis slips,
+//! every park is *timed*: a parked worker re-polls after its backstop
+//! ([`PARK_TIMEOUT`], or [`WAITER_PARK_TIMEOUT`] for registered
+//! completion waiters) at the latest.
 //!
 //! ## What wakes sleepers
 //!
@@ -53,12 +53,25 @@
 //! flag and performs the wake on its next deque access, keeping the
 //! handler confined to flag stores.
 //!
-//! Join and scope waiters also park through this module, but nothing wakes
-//! them on *job completion* (threading completion events through every
-//! `Job` would put a sleeper-mask check on the execute fast path). They
-//! rely on the timed-park backstop, which is fine: a waiter only reaches
-//! the park stage after the full spin+yield ladder, i.e. when the awaited
-//! job is long-running and an extra sub-millisecond of latency is noise.
+//! * External submission into the global injector
+//!   ([`crate::ThreadPool::spawn`]), which must be able to rouse a fully
+//!   parked `serve`-mode pool.
+//! * Job/scope completion, as a **targeted** wake: a join or scope waiter
+//!   registers its worker index in the awaited `Job` (or `Scope`) before
+//!   parking, and the executor reads the registration immediately before
+//!   publishing `done`, then pings exactly that slot via
+//!   [`Sleep::wake_worker`]. The execute fast path pays one uncontended
+//!   atomic load when no waiter is registered — no mask scan. The pairing
+//!   argument: the waiter's register → announce → recheck sequence against
+//!   the executor's read-waiter → store-done → check-mask sequence means
+//!   either the executor sees the registration (and `wake_worker` either
+//!   finds the mask bit or the recheck sees `done`), or the registration
+//!   came after the executor's read — the one interleaving that can miss
+//!   both signals. That window is why registered waiters still park
+//!   *timed*, with the longer [`WAITER_PARK_TIMEOUT`]: real wakes make the
+//!   1 ms re-poll cadence unnecessary, so the backstop stretches ~50× and
+//!   the spurious-wake count of a long join collapses accordingly (asserted
+//!   in `tests/sleeper.rs`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -78,6 +91,12 @@ const YIELD_ROUNDS: u32 = 16;
 /// Timed-park backstop: the longest a worker stays blocked without
 /// re-polling, bounding the cost of any missed wakeup to one timeout.
 const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+/// Backstop for parks whose waker delivers a *targeted* completion wake
+/// (join/scope waiters registered in the awaited job or scope). Real wakes
+/// arrive through [`Sleep::wake_worker`], so the re-poll only covers the
+/// narrow register-after-read miss window and can be ~50× lazier than
+/// [`PARK_TIMEOUT`] without hurting latency.
+pub(crate) const WAITER_PARK_TIMEOUT: Duration = Duration::from_millis(50);
 
 /// How a pool's idle workers behave once out of work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -210,6 +229,18 @@ impl Sleep {
     /// publish-work-then-bump-epoch ordering, is what closes the
     /// announce-then-sleep race (see the module docs).
     pub(crate) fn park(&self, index: usize, should_abort: impl Fn() -> bool) {
+        self.park_with_backstop(index, PARK_TIMEOUT, should_abort)
+    }
+
+    /// [`Sleep::park`] with an explicit timed-park backstop. Join/scope
+    /// waiters that registered for a targeted completion wake pass
+    /// [`WAITER_PARK_TIMEOUT`]; everyone else goes through `park`.
+    pub(crate) fn park_with_backstop(
+        &self,
+        index: usize,
+        backstop: Duration,
+        should_abort: impl Fn() -> bool,
+    ) {
         let slot = &self.slots[index];
         let (word, bit) = (index / 64, 1u64 << (index % 64));
 
@@ -247,7 +278,7 @@ impl Sleep {
 
         metrics::bump(Counter::Park);
         trace::record(trace::EventKind::Park, 0);
-        let _ = slot.cv.wait_for(&mut woken, PARK_TIMEOUT);
+        let _ = slot.cv.wait_for(&mut woken, backstop);
         if *woken {
             *woken = false;
         } else {
@@ -295,6 +326,25 @@ impl Sleep {
                 }
             }
         }
+    }
+
+    /// Targeted wake of worker `index` (completion wakes, registered
+    /// waiters). One SeqCst mask-word load when the target is not
+    /// announced; epoch bump + slot delivery when it is.
+    ///
+    /// Pairing with [`Sleep::park_with_backstop`]: the waiter announces its
+    /// mask bit (SeqCst RMW) *before* its recheck loads. If this load
+    /// misses the bit, the announce is later in the SeqCst order, so the
+    /// caller's work-publication (e.g. the job's `done` store, program-
+    /// ordered before this call) is visible to the waiter's recheck — the
+    /// park aborts without needing us.
+    pub(crate) fn wake_worker(&self, index: usize) {
+        let (word, bit) = (index / 64, 1u64 << (index % 64));
+        if self.mask[word].load(Ordering::SeqCst) & bit == 0 {
+            return;
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.deliver(index);
     }
 
     /// Wake every sleeper (run close, teardown).

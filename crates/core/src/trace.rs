@@ -118,6 +118,15 @@ pub enum EventKind {
     /// (payload = the respawned worker's index). Recorded on worker 0's
     /// ring at the start of the run that healed the pool.
     WorkerRespawn = 20,
+    /// A task was submitted to the pool's global injector (payload = the
+    /// injector's approximate length after the push). Only recorded when
+    /// the submitting thread is a pool worker — external producer threads
+    /// have no trace ring, so their pushes appear only in the
+    /// `injector_pushes` counter.
+    Inject = 21,
+    /// A worker's between-steals injector fallback took a batch (payload =
+    /// number of jobs taken in the batch).
+    InjectorPop = 22,
 }
 
 impl EventKind {
@@ -145,6 +154,8 @@ impl EventKind {
             EventKind::DequeGrow => "deque_grow",
             EventKind::WorkerDeath => "worker_death",
             EventKind::WorkerRespawn => "worker_respawn",
+            EventKind::Inject => "inject",
+            EventKind::InjectorPop => "injector_pop",
         }
     }
 
@@ -173,6 +184,8 @@ impl EventKind {
             18 => EventKind::DequeGrow,
             19 => EventKind::WorkerDeath,
             20 => EventKind::WorkerRespawn,
+            21 => EventKind::Inject,
+            22 => EventKind::InjectorPop,
             _ => return None,
         })
     }

@@ -12,10 +12,11 @@ use lcws_metrics::Counter;
 
 use crate::deque::{DequeFull, Steal};
 use crate::fault::{self, Site};
-use crate::job::{Job, StackJob};
+use crate::injector::INJECTOR_BATCH;
+use crate::job::{Job, StackJob, NO_WAITER};
 use crate::pool::{AnyDeque, PoolInner, WorkerShared};
 use crate::signal::{self, HandlerCtx};
-use crate::sleep::{IdleAction, IdleBackoff};
+use crate::sleep::{IdleAction, IdleBackoff, WAITER_PARK_TIMEOUT};
 use crate::trace;
 use crate::variant::Variant;
 
@@ -42,6 +43,71 @@ pub(crate) enum StealAttempt {
 /// The current thread's worker context, or null outside pool runs.
 pub(crate) fn current_ctx() -> *const WorkerCtx {
     CURRENT.with(|c| c.get())
+}
+
+/// Deliver a targeted completion wake to the worker parked in `await_job`
+/// or the scope drain, if one registered. Called by the job executor right
+/// after it publishes `done` — through *pool* state only; the job header
+/// may already be freed (see [`Job::mark_done`]).
+///
+/// Runs on whichever thread executed the job. If that thread has no
+/// installed ctx (it ran the job inline outside a pool run), there is no
+/// pool to route the wake through — but then the joiner is on the same
+/// thread and was never parked, so there is nothing to deliver.
+pub(crate) fn wake_waiter(index: u32) {
+    if index == NO_WAITER {
+        return;
+    }
+    let ctx = current_ctx();
+    if !ctx.is_null() {
+        // Safety: installed ctx pointers outlive the executing job.
+        unsafe { (*ctx).pool().sleep.wake_worker(index as usize) };
+    }
+}
+
+/// Run scheduling work on `ctx`'s worker until `done` reports true. Used
+/// by `JoinHandle::join` on worker threads: blocking a worker on a condvar
+/// could deadlock the very pool that must run the joined task, so the
+/// joiner keeps executing local, stolen, and injector work instead. The
+/// spawned task's completion wake targets external joiners only, so the
+/// park arm here relies on the eventcount recheck plus the timed backstop.
+pub(crate) fn help_until(ctx: &WorkerCtx, done: impl Fn() -> bool) {
+    let mut backoff = IdleBackoff::new(ctx.pool().idle);
+    loop {
+        if done() {
+            return;
+        }
+        if let Some(job) = ctx.acquire_local() {
+            ctx.execute(job);
+            backoff.reset();
+            continue;
+        }
+        match ctx.steal_once() {
+            StealAttempt::Taken(job) => {
+                ctx.execute(job);
+                backoff.reset();
+            }
+            StealAttempt::Contended => {
+                metrics::bump(Counter::IdleIter);
+                backoff.reset();
+                std::hint::spin_loop();
+            }
+            StealAttempt::NoWork => {
+                if ctx.try_injector() {
+                    backoff.reset();
+                    continue;
+                }
+                metrics::bump(Counter::IdleIter);
+                match backoff.next() {
+                    IdleAction::Park => ctx
+                        .pool()
+                        .sleep
+                        .park(ctx.index, || done() || ctx.any_work_visible()),
+                    action => IdleBackoff::relax(action),
+                }
+            }
+        }
+    }
 }
 
 /// Per-thread scheduling state. Lives at a stable address (worker stack
@@ -174,12 +240,39 @@ impl WorkerCtx {
 
     /// Is any task observably present in any worker's deque (including
     /// private split-deque parts, whose exposure a thief must stay awake
-    /// to request)? Used as the parking recheck.
+    /// to request) or in the global injector? Used as the parking recheck.
     fn any_work_visible(&self) -> bool {
-        self.pool().workers.iter().any(|w| match &w.deque {
-            AnyDeque::Abp(d) => !d.is_empty(),
-            AnyDeque::Split(d) => !d.is_empty(),
-        })
+        !self.pool().injector.is_empty()
+            || self.pool().workers.iter().any(|w| match &w.deque {
+                AnyDeque::Abp(d) => !d.is_empty(),
+                AnyDeque::Split(d) => !d.is_empty(),
+            })
+    }
+
+    /// Injector fallback: after a fruitless steal round, take a batch of
+    /// externally-submitted tasks. The head runs immediately; the tail is
+    /// re-queued into this worker's own deque *first*, so thieves can share
+    /// a burst instead of one worker draining it serially. Returns whether
+    /// any task was executed.
+    pub(crate) fn try_injector(&self) -> bool {
+        let batch = self.pool().injector.pop_batch(INJECTOR_BATCH);
+        let (&first, rest) = match batch.split_first() {
+            Some(s) => s,
+            None => return false,
+        };
+        metrics::bump_by(Counter::InjectorPop, batch.len() as u64);
+        trace::record(trace::EventKind::InjectorPop, batch.len() as u32);
+        for &job in rest {
+            if self.try_push_job(job).is_err() {
+                // Forced DequeFull (see `join`): ownership stays with us,
+                // degrade to running the task inline.
+                metrics::bump(Counter::OverflowInline);
+                trace::record(trace::EventKind::OverflowInline, 0);
+                self.execute(job);
+            }
+        }
+        self.execute(first);
+        true
     }
 
     /// Listing 1 lines 7–17: take a task from this worker's own deque,
@@ -404,6 +497,12 @@ impl WorkerCtx {
                     std::hint::spin_loop();
                 }
                 StealAttempt::NoWork => {
+                    // Externally-submitted work before idle escalation: the
+                    // injector is the fallback victim shared by all workers.
+                    if self.try_injector() {
+                        backoff.reset();
+                        continue;
+                    }
                     metrics::bump(Counter::IdleIter);
                     match backoff.next() {
                         IdleAction::Park => self
@@ -499,9 +598,10 @@ impl WorkerCtx {
         }
         // The job was stolen: help along by stealing elsewhere until its
         // `done` flag (set with Release by the executor) becomes visible.
-        // Fruitless helping escalates spin → yield → park; job completion
-        // does not wake sleepers, so the park's timed backstop bounds the
-        // extra wait (see `crate::sleep` module docs).
+        // Fruitless helping escalates spin → yield → park; before parking we
+        // register for the executor's targeted completion wake, with the
+        // (longer) timed backstop covering the residual registration race
+        // (see `crate::sleep` module docs for the pairing argument).
         let mut backoff = IdleBackoff::new(self.pool().idle);
         loop {
             // Safety: `ptr` refers to a StackJob frame that outlives this
@@ -523,10 +623,21 @@ impl WorkerCtx {
                 StealAttempt::NoWork => {
                     metrics::bump(Counter::IdleIter);
                     match backoff.next() {
-                        IdleAction::Park => self.pool().sleep.park(self.index, || {
-                            let done = unsafe { (*ptr).is_done() };
-                            done || self.any_work_visible()
-                        }),
+                        IdleAction::Park => {
+                            // Safety (both accesses): the StackJob frame
+                            // outlives `join`, and we have not observed
+                            // `done` yet, so the header is alive.
+                            unsafe { (*ptr).set_waiter(self.index as u32) };
+                            self.pool().sleep.park_with_backstop(
+                                self.index,
+                                WAITER_PARK_TIMEOUT,
+                                || {
+                                    let done = unsafe { (*ptr).is_done() };
+                                    done || self.any_work_visible()
+                                },
+                            );
+                            unsafe { (*ptr).clear_waiter() };
+                        }
                         action => IdleBackoff::relax(action),
                     }
                 }
@@ -535,11 +646,16 @@ impl WorkerCtx {
     }
 
     /// Park this worker until `done` reports completion, work appears, or
-    /// the timed backstop fires. Used by the scope drain loop in `api.rs`.
-    pub(crate) fn park_until(&self, done: impl Fn() -> bool) {
+    /// the timed backstop fires. For drain loops that registered for a
+    /// targeted completion wake (the scope waiter slot): the longer
+    /// backstop applies because a real wake is now expected, turning the
+    /// 1ms poll into a rare fallback instead of the primary wake source.
+    pub(crate) fn park_waiter(&self, done: impl Fn() -> bool) {
         self.pool()
             .sleep
-            .park(self.index, || done() || self.any_work_visible());
+            .park_with_backstop(self.index, WAITER_PARK_TIMEOUT, || {
+                done() || self.any_work_visible()
+            });
     }
 
     /// The pool's idle escalation policy (for idle loops outside this

@@ -496,6 +496,143 @@ fn abp_resize_vs_thief() {
 }
 
 // ---------------------------------------------------------------------------
+// Index wraparound (PR 8): the same races across the u32 era boundary.
+// ---------------------------------------------------------------------------
+
+/// `check_split`, but with the deque's absolute indices re-anchored just
+/// below `u32::MAX` so pushes, pops, steals, and exposures cross the wrap
+/// boundary *during* the race. The emptiness/ordering guards are
+/// `sdist`-based (wrap-safe signed distance) rather than raw comparisons;
+/// a regression to raw `<`/`== 0` reasoning shows up here as task loss
+/// (e.g. the old SignalSafe guard read `bot == 0` as "empty" — on a
+/// wrapped era that is a *full* deque whose bottom index happens to be 0).
+///
+/// The canonical-empty assertion is relaxed to "all three indices equal":
+/// the `bot ← 0` repair re-anchors only at the era base (`public_bot == 0
+/// && top == 0`), so a deque drained privately in a wrapped era rests at
+/// its wrapped indices — empty, consistent, just not at zero.
+fn check_split_wrapped(
+    mode: PopBottomMode,
+    policy: ExposurePolicy,
+    exposer: Exposer,
+    ntasks: usize,
+    start: u32,
+) -> Report {
+    explore(Options::default(), || {
+        let d = SplitDeque::new(8);
+        d.set_start_index(start);
+        for i in 0..ntasks {
+            d.push_bottom(cookie(i));
+        }
+        let taken = Mutex::new(Vec::new());
+
+        let exec = Execution::new()
+            .thread("owner", || {
+                pause();
+                if exposer == Exposer::Owner {
+                    d.update_public_bottom(policy);
+                }
+                let job = d.pop_bottom(mode).or_else(|| d.pop_public_bottom());
+                if let Some(t) = job {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+                pause();
+            })
+            .thread("thief", || {
+                if let Steal::Ok(t) = d.pop_top() {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+            });
+        let exec = match exposer {
+            Exposer::Owner => exec,
+            Exposer::Handler => exec.handler_on(0, || {
+                d.update_public_bottom(policy);
+            }),
+        };
+        exec.run();
+
+        let mut all = taken.into_inner().unwrap();
+        loop {
+            if let Some(t) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                all.push(uncookie(t));
+            } else if let Some(t) = d.pop_public_bottom() {
+                all.push(uncookie(t));
+            } else {
+                break;
+            }
+        }
+        check_no_loss_no_dup(all, ntasks)?;
+
+        let (bot, public_bot, age) = d.raw_state();
+        if bot != public_bot || public_bot != age.top {
+            return Err(format!(
+                "inconsistent empty state across the index boundary: \
+                 bot={bot} public_bot={public_bot} top={}",
+                age.top
+            ));
+        }
+        Ok(())
+    })
+}
+
+/// Signal pairing (SignalSafe + One, handler injection) with every index
+/// crossing the u32 boundary mid-race. With `start = u32::MAX - 1` and two
+/// tasks, `bot` sits at exactly 0 while the deque is full — the state the
+/// pre-`sdist` emptiness guards misread.
+#[test]
+fn wrapped_era_signalsafe_handler_race() {
+    for ntasks in [1, 2, 3] {
+        let report = check_split_wrapped(
+            PopBottomMode::SignalSafe,
+            ExposurePolicy::One,
+            Exposer::Handler,
+            ntasks,
+            u32::MAX - 1,
+        );
+        report.assert_exhaustive_pass("wrapped era (SignalSafe + One, handler)");
+        assert!(
+            report.schedules >= 10,
+            "expected a real interleaving space, got {}",
+            report.schedules
+        );
+    }
+}
+
+/// USLCWS pairing (Standard + One, owner-side exposure) across the same
+/// boundary: the Standard pop's decrement and the public-bottom compare
+/// both wrap.
+#[test]
+fn wrapped_era_uslcws_owner_race() {
+    for ntasks in [1, 2] {
+        check_split_wrapped(
+            PopBottomMode::Standard,
+            ExposurePolicy::One,
+            Exposer::Owner,
+            ntasks,
+            u32::MAX - 1,
+        )
+        .assert_exhaustive_pass("wrapped era (Standard + One, owner-side)");
+    }
+}
+
+/// Half exposure across the boundary: `round(r/2)` of the public-bottom
+/// advance lands on the far side of the wrap while the thief steals from
+/// just below it.
+#[test]
+fn wrapped_era_half_exposure_race() {
+    for ntasks in [2, 3] {
+        check_split_wrapped(
+            PopBottomMode::SignalSafe,
+            ExposurePolicy::Half,
+            Exposer::Handler,
+            ntasks,
+            u32::MAX - 2,
+        )
+        .assert_exhaustive_pass("wrapped era (SignalSafe + Half, handler)");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Negative: the known-unsound pairing must be *detected*.
 // ---------------------------------------------------------------------------
 

@@ -122,6 +122,40 @@ fn adaptive_idle_cuts_idle_iters_10x_on_sequential_task() {
     );
 }
 
+/// Regression (PR 8 satellite): a join waiter parked on a stolen arm used
+/// to be woken by nothing but the 1ms timed-park backstop — an 80ms stolen
+/// arm meant ~80 spurious timeout wakes while the joiner polled `done`.
+/// Completion now delivers a targeted wake through the job's waiter slot
+/// (and registered waiters park with the longer 50ms backstop), so the
+/// spurious count collapses: the joiner eats at most a couple of backstop
+/// expiries plus scheduling noise, not one per millisecond.
+#[test]
+fn join_completion_wake_is_targeted_not_polled() {
+    let pool = PoolBuilder::new(Variant::Ws).threads(2).build();
+    let (_, snap) = pool.run_measured(|| {
+        lcws_core::join(
+            // Keep the owner busy long enough for the idle helper to steal
+            // the 80ms arm, so the owner must *wait* for a thief.
+            || busy_for(Duration::from_millis(5)),
+            || std::thread::sleep(Duration::from_millis(80)),
+        );
+    });
+    assert!(
+        snap.parks() > 0,
+        "joiner never parked while awaiting the stolen arm"
+    );
+    assert!(
+        snap.unparks() > 0,
+        "no wake was delivered — completion wake not wired?"
+    );
+    let spurious = snap.get(Counter::SpuriousWake);
+    assert!(
+        spurious <= 15,
+        "join waiter still poll-waking: {spurious} spurious wakes across an \
+         80ms stolen arm (the 1ms-backstop regime produced ~80)"
+    );
+}
+
 /// Parks must not perturb correctness-critical accounting: a run that
 /// parks still executes every task exactly once.
 #[test]

@@ -118,6 +118,15 @@ pub enum Counter {
     /// Replacement helper threads spawned by the pool's between-run
     /// self-healing pass (one per dead worker successfully respawned).
     WorkerRespawn = 24,
+    /// Tasks submitted to the pool's global injector
+    /// (`ThreadPool::spawn`/`spawn_batch`). External producer threads
+    /// account these directly into the pool collector (they have no
+    /// flushed thread-local cells).
+    InjectorPush = 25,
+    /// Tasks taken out of the global injector by workers falling back to
+    /// it between steal attempts. `injector_pushes == injector_pops +
+    /// inline-degraded submissions` once a serve generation drains.
+    InjectorPop = 26,
 }
 
 /// All counter kinds, in discriminant order.
@@ -147,10 +156,12 @@ pub const COUNTER_KINDS: [Counter; NUM_COUNTERS] = [
     Counter::DequeGrow,
     Counter::WorkerDeath,
     Counter::WorkerRespawn,
+    Counter::InjectorPush,
+    Counter::InjectorPop,
 ];
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 25;
+pub const NUM_COUNTERS: usize = 27;
 
 impl Counter {
     /// Short, stable name used in CSV headers.
@@ -181,6 +192,8 @@ impl Counter {
             Counter::DequeGrow => "deque_grows",
             Counter::WorkerDeath => "worker_deaths",
             Counter::WorkerRespawn => "worker_respawns",
+            Counter::InjectorPush => "injector_pushes",
+            Counter::InjectorPop => "injector_pops",
         }
     }
 }
@@ -402,6 +415,16 @@ impl Snapshot {
     /// Replacement helper threads spawned by the self-healing pass.
     pub fn worker_respawns(&self) -> u64 {
         self.get(Counter::WorkerRespawn)
+    }
+
+    /// Tasks submitted to the global injector.
+    pub fn injector_pushes(&self) -> u64 {
+        self.get(Counter::InjectorPush)
+    }
+
+    /// Tasks workers took out of the global injector.
+    pub fn injector_pops(&self) -> u64 {
+        self.get(Counter::InjectorPop)
     }
 
     /// Failed notifications rerouted through the `targeted`-flag fallback.
