@@ -20,6 +20,7 @@ use crate::age::{Age, AtomicAge};
 use crate::deque::ring::GrowableRing;
 use crate::deque::{sdist, DequeFull, Steal};
 use crate::fault::{self, Site};
+use crate::hb;
 use crate::job::Job;
 // Index/age words go through the shim atomics: plain std atomics in normal
 // builds, DFS scheduling points under the opt-in `model` feature.
@@ -77,7 +78,14 @@ impl AbpDeque {
         let buf = self
             .ring
             .for_push(b, || self.age.load(Ordering::Relaxed).top)?;
-        buf.slot(b).store(task, Ordering::Release);
+        // Unlike the split deque (plain-array slot semantics, ordering
+        // carried by `public_bot`/the grow publish), the ABP slot handoff
+        // is itself Release/Acquire — so the checker models the slot as an
+        // *atomic*, carrying the job-content edge to the thief, and leaves
+        // race detection to the tracked job cells downstream.
+        hb::atomic_store(buf.slot(b) as *const _ as usize, Ordering::Release, || {
+            buf.slot(b).store(task, Ordering::Release)
+        });
         self.bot.store(b.wrapping_add(1), Ordering::Release);
         shim::fence_seq_cst();
         metrics::bump(metrics::Counter::Push);
@@ -130,9 +138,13 @@ impl AbpDeque {
         let new_age = old_age.reset();
         if b1 == old_age.top {
             metrics::record_cas();
+            // Failure ordering Relaxed: the loaded-on-failure value is
+            // discarded (only `is_ok` is tested), so it synchronizes
+            // nothing. Success stays SeqCst — the ABP argument orders this
+            // CAS against the owner fence/thief CAS in the SC total order.
             if self
                 .age
-                .compare_exchange(old_age, new_age, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(old_age, new_age, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok()
             {
                 metrics::bump(metrics::Counter::LocalPop);
@@ -155,11 +167,13 @@ impl AbpDeque {
             // CAS below fails whenever `top` moved, which is the only way
             // this ring's slot at `top` could have been overwritten or the
             // ring retired-and-superseded mid-steal (see `deque::ring`).
-            let task = self
-                .ring
-                .capture()
-                .slot(old_age.top)
-                .load(Ordering::Acquire);
+            let slot = self.ring.capture().slot(old_age.top);
+            // Atomic-modeled (see `try_push_bottom`): the Acquire joins the
+            // pushing owner's release clock, which is the edge the stolen
+            // job's content reads rely on.
+            let task = hb::atomic_load(slot as *const _ as usize, Ordering::Acquire, || {
+                slot.load(Ordering::Acquire)
+            });
             let new_age = old_age.with_top_incremented();
             // Forced fire: lose the CAS race outright (chaos tests use this
             // to exercise the Abort path deterministically).
@@ -168,9 +182,11 @@ impl AbpDeque {
                 return Steal::Abort;
             }
             metrics::record_cas();
+            // Failure ordering Relaxed: a failed steal returns Abort without
+            // touching the loaded value (see pop_bottom's CAS).
             if self
                 .age
-                .compare_exchange(old_age, new_age, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(old_age, new_age, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok()
             {
                 metrics::bump(metrics::Counter::StealOk);

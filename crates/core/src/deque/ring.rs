@@ -51,6 +51,7 @@ use lcws_metrics as metrics;
 
 use crate::deque::{sdist, DequeFull};
 use crate::fault::{self, Site};
+use crate::hb;
 use crate::job::Job;
 use crate::model::shim::{AtomicPtr, SchedPtr};
 use crate::trace;
@@ -212,6 +213,10 @@ impl GrowableRing {
             // Wrapping: the live window `[b - old_cap, b)` may straddle the
             // u32 boundary on a long-lived (never-reset) deque.
             let idx = b.wrapping_sub(old_cap).wrapping_add(i);
+            hb::on_write(
+                new_buf.slot(idx) as *const _ as usize,
+                "ring slot (grow copy)",
+            );
             new_buf
                 .slot(idx)
                 .store(old.slot(idx).load(Ordering::Relaxed), Ordering::Relaxed);
@@ -220,7 +225,10 @@ impl GrowableRing {
         // the old ring until the publish below. Delay storms here stretch
         // the window the chaos tests race steals against.
         fault::point(Site::DequeResize);
-        self.buffer.store(new_ptr, Ordering::Release);
+        // `grow_publish_order()` is a compile-time `Release` unless an hb
+        // negative test deliberately weakens it to demonstrate the checker
+        // catches the severed copied-slots edge.
+        self.buffer.store(new_ptr, hb::negative::grow_publish_order());
         // Retired rings stay readable (never written) until quiescence.
         unsafe { (*self.retired.get()).push(old as *const RingBuffer as *mut RingBuffer) };
         metrics::bump(metrics::Counter::DequeGrow);
@@ -254,9 +262,24 @@ impl GrowableRing {
         let retired = &mut *self.retired.get();
         let n = retired.len();
         for p in retired.drain(..) {
+            forget_ring_slots(p);
             drop(Box::from_raw(p));
         }
         n
+    }
+}
+
+/// Drop the checker's access history for a ring's slot array before the
+/// allocation is freed — a later ring reusing the addresses must not be
+/// misread as racing the dead one.
+fn forget_ring_slots(p: *mut RingBuffer) {
+    // Safety: the caller owns `p` and is about to free it.
+    unsafe {
+        let slots: &[AtomicPtr<Job>] = &(*p).slots;
+        hb::forget_range(
+            slots.as_ptr() as usize,
+            std::mem::size_of_val(slots),
+        );
     }
 }
 
@@ -265,7 +288,9 @@ impl Drop for GrowableRing {
         // Safety: `&mut self` proves exclusive access.
         unsafe {
             self.release_retired();
-            drop(Box::from_raw(self.buffer.load_owner(Ordering::Relaxed)));
+            let current = self.buffer.load_owner(Ordering::Relaxed);
+            forget_ring_slots(current);
+            drop(Box::from_raw(current));
         }
     }
 }

@@ -63,6 +63,7 @@ use crate::age::{Age, AtomicAge};
 use crate::deque::ring::GrowableRing;
 use crate::deque::{sdist, DequeFull, Steal};
 use crate::fault::{self, Site};
+use crate::hb;
 use crate::job::Job;
 // All index/age words go through the shim atomics: plain std atomics in
 // normal builds, DFS scheduling points under the opt-in `model` feature.
@@ -185,6 +186,7 @@ impl SplitDeque {
         let buf = self
             .ring
             .for_push(b, || self.age.load(Ordering::Relaxed).top)?;
+        hb::on_write(buf.slot(b) as *const _ as usize, "split slot (push_bottom)");
         buf.slot(b).store(task, Ordering::Relaxed);
         self.bot.store(b.wrapping_add(1), Ordering::Relaxed);
         metrics::bump(metrics::Counter::Push);
@@ -274,7 +276,13 @@ impl SplitDeque {
             return None;
         }
         let pb = pb0.wrapping_sub(1);
-        self.public_bot.store(pb, Ordering::Relaxed);
+        // Release, not Relaxed: a plain store would *break the release
+        // sequence* headed by the exposure's Release store (C++20), so a
+        // thief acquire-loading the decremented value would lose the edge
+        // covering the still-public slots `[top, pb)` — the hb checker
+        // catches this as slot races under the SignalSafe variants. (The
+        // paper's Listing 2 uses seq-cst stores here, which release too.)
+        self.public_bot.store(pb, Ordering::Release);
         // Fence #1 (Listing 2 line 12): publish the decrement to thieves and
         // read an up-to-date `age`.
         shim::fence_seq_cst();
@@ -300,11 +308,18 @@ impl SplitDeque {
         self.ring.reset_top_bound();
         let new_age = old_age.reset();
         let local_bot = pb;
-        self.public_bot.store(0, Ordering::Relaxed);
+        // Release (sequence continuation, as above) — and ordered before
+        // the era-opening `age` publishes below: a thief that observes the
+        // fresh era must also observe `public_bot = 0`, or it could pair
+        // the new `age` with a stale (larger) `public_bot` and steal a
+        // *private* new-era slot. The SC fences don't close that window
+        // for thieves (they carry no fence); the Release/Acquire chain
+        // through `age` does, by write-read coherence.
+        self.public_bot.store(0, Ordering::Release);
         let won = if local_bot == old_age.top {
             metrics::record_cas();
             self.age
-                .compare_exchange(old_age, new_age, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange(old_age, new_age, Ordering::Release, Ordering::Relaxed)
                 .is_ok()
         } else {
             false
@@ -315,8 +330,9 @@ impl SplitDeque {
             Some(task)
         } else {
             // A thief took it (or top had already moved past us): make the
-            // reset visible and report empty.
-            self.age.store(new_age, Ordering::Relaxed);
+            // reset visible and report empty. Release for the same
+            // era-vs-`public_bot` coherence argument as the CAS above.
+            self.age.store(new_age, Ordering::Release);
             None
         };
         // Fence #2 (Listing 2 line 27): thieves must not observe the new
@@ -342,11 +358,11 @@ impl SplitDeque {
             // CAS below fails whenever `top` moved, which is the only way
             // this ring's slot at `top` could have been overwritten or the
             // ring retired-and-superseded mid-steal (see `deque::ring`).
-            let task = self
-                .ring
-                .capture()
-                .slot(old_age.top)
-                .load(Ordering::Relaxed);
+            let slot = self.ring.capture().slot(old_age.top);
+            // Speculative for the checker: this read only counts (and only
+            // races) if the validating CAS below commits it.
+            let pending = hb::speculative_read(slot as *const _ as usize, "split slot (pop_top)");
+            let task = slot.load(Ordering::Relaxed);
             let new_age = old_age.with_top_incremented();
             // Stretch the read-age → CAS window thieves race within; a
             // forced fire models losing the race outright (the chaos tests
@@ -361,6 +377,7 @@ impl SplitDeque {
                 .compare_exchange(old_age, new_age, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
+                hb::commit_read(pending);
                 metrics::bump(metrics::Counter::StealOk);
                 return Steal::Ok(task);
             }

@@ -332,7 +332,10 @@ impl PlanGuard {
 impl Drop for PlanGuard {
     fn drop(&mut self) {
         // Disarm. The state itself stays leaked (handler-safe; see ACTIVE).
-        active::ACTIVE.store(std::ptr::null_mut(), Ordering::SeqCst);
+        // Release suffices: no fence or SC argument references ACTIVE, the
+        // store only has to order the guard's final counter traffic before
+        // the null publish (docs/ordering_contract.md).
+        active::ACTIVE.store(std::ptr::null_mut(), Ordering::Release);
     }
 }
 
@@ -348,7 +351,10 @@ pub fn install(plan: FaultPlan) -> PlanGuard {
         hits: [const { AtomicU64::new(0) }; NUM_SITES],
         fires: [const { AtomicU64::new(0) }; NUM_SITES],
     }));
-    let prev = active::ACTIVE.swap(state as *mut _, Ordering::SeqCst);
+    // AcqRel, not SeqCst: Release publishes the leaked PlanState to probing
+    // threads, Acquire sees a prior guard's disarm for the assert below —
+    // nothing orders ACTIVE against other SC operations.
+    let prev = active::ACTIVE.swap(state as *mut _, Ordering::AcqRel);
     assert!(prev.is_null(), "a FaultPlan is already installed");
     PlanGuard { state }
 }

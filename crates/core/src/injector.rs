@@ -49,12 +49,13 @@ use std::any::Any;
 use std::cell::UnsafeCell;
 use std::panic;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::fault::{self, Site};
+use crate::hb::{self, shim::AtomicPtr, shim::AtomicU8, shim::AtomicUsize};
 use crate::job::Job;
 
 /// How many tasks a worker takes from the injector per visit: the first
@@ -173,6 +174,11 @@ impl Injector {
             Some(g) => g,
             None => return Vec::new(),
         };
+        // The consumer lock is a data-carrying edge the checker cannot see
+        // on its own (parking_lot is not shimmed): worker A re-queues a
+        // batch tail under it, worker B pops those jobs later. Model it as
+        // an acquire/release pair on the mutex address.
+        hb::lock_acquired(&self.ready as *const _ as usize);
         if ready.is_empty() {
             // Take the whole incoming stack in one swap; Acquire pairs with
             // the push's Release so the chain links are visible.
@@ -187,6 +193,7 @@ impl Injector {
         }
         let take = max.min(ready.len());
         let batch: Vec<*mut Job> = ready.drain(..take).collect();
+        hb::lock_releasing(&self.ready as *const _ as usize);
         drop(ready);
         if !batch.is_empty() {
             self.len.fetch_sub(batch.len(), Ordering::Release);
@@ -246,6 +253,7 @@ impl<T> TaskState<T> {
     pub(crate) fn complete(&self, result: TaskResult<T>) {
         // Safety: exactly one completer (the task runs once), and no reader
         // touches the slot until `DONE` is visible.
+        hb::on_write(self.result.get() as usize, "TaskState::result (complete)");
         unsafe { *self.result.get() = Some(result) };
         let prev = self.status.swap(DONE, Ordering::AcqRel);
         if prev == WAITING {
@@ -286,7 +294,16 @@ impl<T> TaskState<T> {
     /// # Safety
     /// At most once, only after `is_done()` returned true.
     unsafe fn take_result(&self) -> TaskResult<T> {
+        hb::on_read(self.result.get() as usize, "TaskState::result (take_result)");
         (*self.result.get()).take().expect("task result taken twice")
+    }
+}
+
+impl<T> Drop for TaskState<T> {
+    fn drop(&mut self) {
+        // The Arc allocation is about to be freed and its address recycled;
+        // drop the checker's history so the next occupant starts clean.
+        hb::forget_range(self as *const _ as usize, std::mem::size_of::<Self>());
     }
 }
 

@@ -21,7 +21,9 @@ use std::any::Any;
 use std::cell::UnsafeCell;
 use std::panic::{self, AssertUnwindSafe};
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
+
+use crate::hb::{self, shim::AtomicBool, shim::AtomicPtr, shim::AtomicU32};
 
 /// Sentinel for [`Job`]'s waiter slot: no worker registered for a
 /// completion wake.
@@ -87,7 +89,10 @@ impl Job {
     /// `crate::sleep`).
     fn mark_done(&self) -> u32 {
         let waiter = self.waiter.load(Ordering::SeqCst);
-        self.done.store(true, Ordering::Release);
+        // `done_store_order()` is a compile-time `Release` unless an hb
+        // negative test deliberately weakens it to demonstrate the checker
+        // catches the severed result-publication edge.
+        self.done.store(true, hb::negative::done_store_order());
         waiter
     }
 
@@ -141,7 +146,14 @@ where
     }
 
     /// Header pointer to push into a deque.
+    ///
+    /// Doubles as the checker's record of the owner's pre-publication
+    /// writes to the closure/result cells: it runs on the settled stack
+    /// binding (unlike `new`, whose local may still move) and immediately
+    /// precedes the deque push that publishes them.
     pub fn as_job_ptr(&self) -> *mut Job {
+        hb::on_write(self.func.get() as usize, "StackJob::func (pre-publish)");
+        hb::on_write(self.result.get() as usize, "StackJob::result (pre-publish)");
         &self.job as *const Job as *mut Job
     }
 
@@ -155,10 +167,15 @@ where
         let this = ptr as *const StackJob<F, R>;
         // Ownership: exactly one executor reaches this point (the deque hands
         // a task to exactly one taker), so the closure slot is uncontended.
+        hb::on_read((*this).func.get() as usize, "StackJob::func (run_erased)");
         let func = (*(*this).func.get())
             .take()
             .expect("StackJob executed twice");
         let result = panic::catch_unwind(AssertUnwindSafe(func));
+        hb::on_write(
+            (*this).result.get() as usize,
+            "StackJob::result (run_erased)",
+        );
         *(*this).result.get() = Some(result.map_err(|e| e as Box<dyn Any + Send>));
         // `mark_done` may be the frame's last valid access (the joiner can
         // return as soon as `done` is visible); the wake goes through pool
@@ -174,6 +191,7 @@ where
     /// Must be called at most once, only after `is_done()` returned true.
     pub unsafe fn take_result(&self) -> R {
         debug_assert!(self.is_done());
+        hb::on_read(self.result.get() as usize, "StackJob::result (take_result)");
         match (*self.result.get()).take().expect("result taken twice") {
             Ok(r) => r,
             Err(payload) => panic::resume_unwind(payload),
@@ -196,6 +214,15 @@ where
 // this `unsafe impl` necessary.
 unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
 
+impl<F, R> Drop for StackJob<F, R> {
+    fn drop(&mut self) {
+        // The frame is about to be reused (same thread, or a respawned
+        // worker mapped onto the dead worker's stack range); drop the
+        // checker's access history for it.
+        hb::forget_range(self as *const _ as usize, std::mem::size_of::<Self>());
+    }
+}
+
 /// A boxed, self-freeing job used by [`crate::scope`] spawns.
 #[repr(C)]
 pub struct HeapJob<F> {
@@ -215,6 +242,7 @@ where
             job: Job::new(Self::run_erased),
             func: Some(func),
         });
+        hb::on_write(&boxed.func as *const _ as usize, "HeapJob::func (push_new)");
         Box::into_raw(boxed) as *mut Job
     }
 
@@ -222,12 +250,16 @@ where
         // Reclaim the box; the closure runs (and is dropped) before the
         // allocation is freed at the end of this scope.
         let mut this = Box::from_raw(ptr as *mut HeapJob<F>);
+        hb::on_read(&this.func as *const _ as usize, "HeapJob::func (run_erased)");
         let func = this.func.take().expect("HeapJob executed twice");
         // Scope-level panic bookkeeping is handled inside `func` itself
         // (see `scope`); an unwind past this frame would abort, so `func`
         // is always a non-unwinding wrapper.
         func();
         let waiter = this.job.mark_done();
+        // The allocation dies here; drop the checker's state for it so a
+        // later job reusing the address is not misread as racing this one.
+        hb::forget_range(&*this as *const _ as usize, std::mem::size_of::<HeapJob<F>>());
         drop(this);
         crate::worker::wake_waiter(waiter);
     }

@@ -67,6 +67,7 @@ mod age;
 mod api;
 pub mod deque;
 pub mod fault;
+pub mod hb;
 mod injector;
 mod job;
 pub mod model;

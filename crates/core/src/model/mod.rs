@@ -79,7 +79,7 @@ pub fn pause() {}
 
 #[cfg(test)]
 mod tests {
-    #[cfg(not(feature = "model"))]
+    #[cfg(not(any(feature = "model", feature = "hb")))]
     #[test]
     fn shims_are_std_aliases_when_model_is_off() {
         use std::any::TypeId;
@@ -102,6 +102,8 @@ mod tests {
     #[cfg(not(feature = "model"))]
     #[test]
     fn sched_ptr_is_transparent_when_model_is_off() {
+        // Holds under `hb` too: the instrumented wrapper is also
+        // `#[repr(transparent)]`.
         // `SchedPtr` cannot be a bare alias (it must also compile under
         // `model`), but with the feature off it is a `#[repr(transparent)]`
         // wrapper over the std atomic — same size, same layout.

@@ -1,8 +1,14 @@
 //! Shim atomic types the deques are written against.
 //!
-//! Feature off: type aliases for `std::sync::atomic` plus
+//! Features off: type aliases for `std::sync::atomic` plus
 //! `#[inline(always)]` passthrough helpers — zero cost, identical codegen
 //! (asserted by a `TypeId` test in the parent module).
+//!
+//! Under `hb` (with `model` off) the same types become
+//! `#[repr(transparent)]` wrappers that route every access through the
+//! vector-clock happens-before checker in [`crate::hb`] — one
+//! instrumentation layer now serves `model`, `hb`, and default builds.
+//! When both features are on, `model` wins and the checker is inert.
 //!
 //! Feature on: `AtomicU32`/`AtomicU64` become wrappers that route every
 //! access through the DFS scheduler in `super::dfs` before performing the
@@ -24,7 +30,127 @@
 
 pub use std::sync::atomic::AtomicPtr;
 
-#[cfg(not(feature = "model"))]
+#[cfg(all(feature = "hb", not(feature = "model")))]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    use crate::hb;
+
+    /// A `u32` deque word routed through the happens-before checker.
+    #[derive(Debug)]
+    #[repr(transparent)]
+    pub struct AtomicU32(std::sync::atomic::AtomicU32);
+
+    impl AtomicU32 {
+        #[inline]
+        fn addr(&self) -> usize {
+            self as *const _ as usize
+        }
+
+        #[inline]
+        pub fn load(&self, order: Ordering) -> u32 {
+            hb::atomic_load(self.addr(), order, || self.0.load(order))
+        }
+
+        #[inline]
+        pub fn store(&self, value: u32, order: Ordering) {
+            hb::atomic_store(self.addr(), order, || self.0.store(value, order))
+        }
+    }
+
+    /// A `u64` deque word (the `age`) routed through the checker.
+    #[derive(Debug)]
+    #[repr(transparent)]
+    pub struct AtomicU64(std::sync::atomic::AtomicU64);
+
+    impl AtomicU64 {
+        #[inline]
+        fn addr(&self) -> usize {
+            self as *const _ as usize
+        }
+
+        #[inline]
+        pub fn load(&self, order: Ordering) -> u64 {
+            hb::atomic_load(self.addr(), order, || self.0.load(order))
+        }
+
+        #[inline]
+        pub fn store(&self, value: u64, order: Ordering) {
+            hb::atomic_store(self.addr(), order, || self.0.store(value, order))
+        }
+
+        #[inline]
+        pub fn compare_exchange(
+            &self,
+            current: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            hb::atomic_cas(self.addr(), success, failure, || {
+                self.0.compare_exchange(current, new, success, failure)
+            })
+        }
+    }
+
+    /// Instrumented twin of the passthrough helper (names label model
+    /// traces only; the checker keys state by address).
+    #[inline]
+    pub fn named_u32(value: u32, _name: &'static str) -> AtomicU32 {
+        AtomicU32(std::sync::atomic::AtomicU32::new(value))
+    }
+
+    /// Instrumented named `u64` constructor.
+    #[inline]
+    pub fn named_u64(value: u64, _name: &'static str) -> AtomicU64 {
+        AtomicU64(std::sync::atomic::AtomicU64::new(value))
+    }
+
+    /// The paper's fence, counted as always, plus the checker's SC-clock
+    /// join (the HB edge fence-paired protocols rely on).
+    #[inline]
+    pub fn fence_seq_cst() {
+        hb::fence_seq_cst(lcws_metrics::fence_seq_cst)
+    }
+
+    /// Ring-buffer pointer routed through the checker: a `Relaxed`
+    /// republish in `grow` must sever the thief's edge to the copied
+    /// slots, which is exactly what the negative tests assert.
+    #[derive(Debug)]
+    #[repr(transparent)]
+    pub struct SchedPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+    impl<T> SchedPtr<T> {
+        #[inline]
+        pub fn new(ptr: *mut T, _name: &'static str) -> Self {
+            SchedPtr(std::sync::atomic::AtomicPtr::new(ptr))
+        }
+
+        #[inline]
+        fn addr(&self) -> usize {
+            self as *const _ as usize
+        }
+
+        #[inline]
+        pub fn load(&self, order: Ordering) -> *mut T {
+            hb::atomic_load(self.addr(), order, || self.0.load(order))
+        }
+
+        /// Owner-side read of a pointer only the owner writes: still
+        /// instrumented (an acquire here is a real edge), but cheap.
+        #[inline]
+        pub fn load_owner(&self, order: Ordering) -> *mut T {
+            hb::atomic_load(self.addr(), order, || self.0.load(order))
+        }
+
+        #[inline]
+        pub fn store(&self, ptr: *mut T, order: Ordering) {
+            hb::atomic_store(self.addr(), order, || self.0.store(ptr, order))
+        }
+    }
+}
+
+#[cfg(not(any(feature = "model", feature = "hb")))]
 mod imp {
     use std::sync::atomic::Ordering;
 

@@ -21,7 +21,7 @@
 
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle as ThreadJoinHandle;
 use std::time::Duration;
@@ -31,6 +31,7 @@ use lcws_metrics::{Collector, Counter, Snapshot};
 use parking_lot::{Condvar, Mutex};
 
 use crate::deque::{AbpDeque, SplitDeque, DEFAULT_DEQUE_CAPACITY};
+use crate::hb::{self, shim::AtomicBool, shim::AtomicU64, shim::AtomicUsize};
 use crate::injector::{Injector, JoinHandle, TaskState};
 use crate::job::{HeapJob, Job};
 use crate::signal;
@@ -343,7 +344,11 @@ impl PoolBuilder {
                     "injected worker-spawn failure",
                 ))
             } else {
-                builder.spawn(move || worker_main(worker_inner, index, 0))
+                let fork = hb::fork_token();
+                builder.spawn(move || {
+                    hb::join_token(fork);
+                    worker_main(worker_inner, index, 0)
+                })
             };
             match spawned {
                 Ok(h) => handles.push(Some(h)),
@@ -980,7 +985,11 @@ impl ThreadPool {
                     "injected worker-respawn failure",
                 ))
             } else {
-                builder.spawn(move || worker_main(worker_inner, index, seen0))
+                let fork = hb::fork_token();
+                builder.spawn(move || {
+                    hb::join_token(fork);
+                    worker_main(worker_inner, index, seen0)
+                })
             };
             match spawned {
                 Ok(h) => {

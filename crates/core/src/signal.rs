@@ -24,13 +24,14 @@
 //! [`crate::deque::SplitDeque`]).
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Once;
 
 use lcws_metrics as metrics;
 
 use crate::deque::{ExposurePolicy, SplitDeque};
 use crate::fault::{self, Site};
+use crate::hb::shim::AtomicBool;
 use crate::trace;
 
 /// The signal used for work-exposure requests, as in the paper's Listing 3.

@@ -73,7 +73,7 @@
 //!   the spurious-wake count of a long join collapses accordingly (asserted
 //!   in `tests/sleeper.rs`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use crossbeam_utils::CachePadded;
@@ -82,6 +82,7 @@ use lcws_metrics::Counter;
 use parking_lot::{Condvar, Mutex};
 
 use crate::fault::{self, Site};
+use crate::hb::shim::AtomicU64;
 use crate::trace;
 
 /// Spin-loop rounds before escalating to yields (stage 1 length).

@@ -50,7 +50,10 @@
 #[cfg(feature = "trace")]
 use std::cell::{Cell, UnsafeCell};
 #[cfg(feature = "trace")]
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+#[cfg(feature = "trace")]
+use crate::hb::{self, shim::AtomicU64};
 
 /// What happened. The set spans the whole scheduling stack: deque
 /// transitions, the signal path, flag polls, the sleeper, and the run
@@ -287,6 +290,7 @@ impl TraceRing {
         let h = self.head.load(Ordering::Relaxed);
         self.head.store(h + 1, Ordering::Relaxed);
         let idx = (h % self.slots.len() as u64) as usize;
+        hb::on_write(self.slots[idx].get() as usize, "trace slot (record_now)");
         // Safety: owner-only write discipline (see the Sync rationale); the
         // handler runs on the owning thread so this is never concurrent.
         unsafe {
@@ -319,6 +323,10 @@ impl TraceRing {
         let dropped = h - kept;
         let mut out = Vec::with_capacity(kept as usize);
         for i in (h - kept)..h {
+            hb::on_read(
+                self.slots[(i % cap) as usize].get() as usize,
+                "trace slot (drain)",
+            );
             // Safety: quiescent read; see above.
             let raw = unsafe { *self.slots[(i % cap) as usize].get() };
             if let Some(kind) = EventKind::from_u16(raw.kind) {
@@ -347,6 +355,9 @@ impl TraceRing {
         for i in (h - kept)..h {
             // Racy-by-design read (see above); volatile keeps the compiler
             // from caching or tearing the copy further.
+            // Deliberately NOT hb-instrumented: this read races the owner
+            // by design and tolerates torn records; filing it would turn
+            // every watchdog report into a false positive.
             let raw = unsafe { std::ptr::read_volatile(self.slots[(i % cap) as usize].get()) };
             if let Some(kind) = EventKind::from_u16(raw.kind) {
                 out.push(TraceEvent {
@@ -358,6 +369,18 @@ impl TraceRing {
             }
         }
         out
+    }
+}
+
+#[cfg(feature = "trace")]
+impl Drop for TraceRing {
+    fn drop(&mut self) {
+        // The slot array's addresses may be recycled by a later ring (or
+        // any other allocation); drop the checker's history for them.
+        hb::forget_range(
+            self.slots.as_ptr() as usize,
+            std::mem::size_of_val(&*self.slots),
+        );
     }
 }
 

@@ -127,6 +127,11 @@ pub enum Counter {
     /// it between steal attempts. `injector_pushes == injector_pops +
     /// inline-degraded submissions` once a serve generation drains.
     InjectorPop = 26,
+    /// Race reports emitted by the happens-before checker (`hb` feature of
+    /// `lcws-core`). Always zero in default builds; any nonzero value under
+    /// `--features hb` is a detected data race (two accesses to a tracked
+    /// location unordered by happens-before).
+    HbReport = 27,
 }
 
 /// All counter kinds, in discriminant order.
@@ -158,10 +163,11 @@ pub const COUNTER_KINDS: [Counter; NUM_COUNTERS] = [
     Counter::WorkerRespawn,
     Counter::InjectorPush,
     Counter::InjectorPop,
+    Counter::HbReport,
 ];
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 27;
+pub const NUM_COUNTERS: usize = 28;
 
 impl Counter {
     /// Short, stable name used in CSV headers.
@@ -194,6 +200,7 @@ impl Counter {
             Counter::WorkerRespawn => "worker_respawns",
             Counter::InjectorPush => "injector_pushes",
             Counter::InjectorPop => "injector_pops",
+            Counter::HbReport => "hb_reports",
         }
     }
 }
@@ -425,6 +432,11 @@ impl Snapshot {
     /// Tasks workers took out of the global injector.
     pub fn injector_pops(&self) -> u64 {
         self.get(Counter::InjectorPop)
+    }
+
+    /// Race reports from the happens-before checker (`hb` feature).
+    pub fn hb_reports(&self) -> u64 {
+        self.get(Counter::HbReport)
     }
 
     /// Failed notifications rerouted through the `targeted`-flag fallback.

@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Compare the newest BENCH_*.json against the previous one in the series.
+"""Compare two BENCH_*.json files (default: the two newest in the series).
 
 Usage:
+    scripts/compare_bench.py [--threshold PCT] [--base FILE --head FILE]
     scripts/compare_bench.py [--threshold PCT] [CURRENT [PREVIOUS]]
 
-With no arguments the script picks the two highest-numbered BENCH_<n>.json
-files at the repo root (the number is the PR sequence index: BENCH_6.json,
-BENCH_7.json, ...). With one argument it compares that file against the
+`--head` is the candidate run and `--base` the baseline it is judged
+against; both must be given together and take precedence over the
+positional form. With no files named, the script picks the two
+highest-numbered BENCH_<n>.json at the repo root, sorted by the *numeric*
+index (BENCH_10 > BENCH_9 — a plain filename sort gets this wrong). With
+one positional argument it compares that file against the
 highest-numbered *other* file. Exits non-zero when any directional metric
 regressed by more than the threshold (default 10%).
 
@@ -57,8 +61,10 @@ def direction(key):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current", nargs="?", help="current BENCH_*.json")
-    ap.add_argument("previous", nargs="?", help="baseline BENCH_*.json")
+    ap.add_argument("current", nargs="?", help="current BENCH_*.json (positional form)")
+    ap.add_argument("previous", nargs="?", help="baseline BENCH_*.json (positional form)")
+    ap.add_argument("--base", help="explicit baseline BENCH_*.json (requires --head)")
+    ap.add_argument("--head", help="explicit candidate BENCH_*.json (requires --base)")
     ap.add_argument(
         "--threshold",
         type=float,
@@ -67,7 +73,27 @@ def main():
     )
     args = ap.parse_args()
 
+    if bool(args.base) != bool(args.head):
+        print("compare_bench: --base and --head must be given together", file=sys.stderr)
+        return 2
+    if args.base and (args.current or args.previous):
+        print("compare_bench: --base/--head conflict with positional files", file=sys.stderr)
+        return 2
+
+    # Numeric sort on the series index: BENCH_10.json must rank above
+    # BENCH_9.json, which a lexicographic filename sort would invert.
     series = sorted(glob.glob(os.path.join(ROOT, "BENCH_*.json")), key=bench_index)
+    if args.head:
+        current, previous = args.head, args.base
+        for path in (current, previous):
+            if not os.path.exists(path):
+                print(f"compare_bench: no such file: {path}", file=sys.stderr)
+                return 2
+        with open(previous) as f:
+            prev = dict(flatten(json.load(f)))
+        with open(current) as f:
+            cur = dict(flatten(json.load(f)))
+        return report(current, previous, prev, cur, args.threshold)
     current = args.current or (series[-1] if series else None)
     if current is None:
         print("compare_bench: no BENCH_*.json found at repo root", file=sys.stderr)
@@ -85,9 +111,12 @@ def main():
         prev = dict(flatten(json.load(f)))
     with open(current) as f:
         cur = dict(flatten(json.load(f)))
+    return report(current, previous, prev, cur, args.threshold)
 
+
+def report(current, previous, prev, cur, threshold):
     print(f"compare_bench: {os.path.basename(current)} vs "
-          f"{os.path.basename(previous)} (threshold {args.threshold:.0f}%)")
+          f"{os.path.basename(previous)} (threshold {threshold:.0f}%)")
     regressions = []
     for key in sorted(cur):
         if key not in prev:
@@ -99,7 +128,7 @@ def main():
             delta_pct = 0.0 if new == 0 else float("inf")
         else:
             delta_pct = (new - old) / abs(old) * 100.0
-        tag = "info" if sense == 0 else ("ok" if -sense * delta_pct <= args.threshold else "REGRESSED")
+        tag = "info" if sense == 0 else ("ok" if -sense * delta_pct <= threshold else "REGRESSED")
         print(f"  {tag:<9} {key}: {old:g} -> {new:g} ({delta_pct:+.1f}%)")
         if tag == "REGRESSED":
             regressions.append((key, old, new, delta_pct))
@@ -108,7 +137,7 @@ def main():
 
     if regressions:
         print(f"compare_bench: {len(regressions)} metric(s) regressed by more "
-              f"than {args.threshold:.0f}%:", file=sys.stderr)
+              f"than {threshold:.0f}%:", file=sys.stderr)
         for key, old, new, pct in regressions:
             print(f"  {key}: {old:g} -> {new:g} ({pct:+.1f}%)", file=sys.stderr)
         return 1

@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Memory-ordering contract lint (ISSUE 9).
+
+Every `Ordering::*` literal in `crates/core/src` must be covered by a
+contract row in `docs/ordering_contract.md` that names the file, the
+atomic field and operation (or containing function, for orderings that
+appear outside an atomic call, e.g. the hb checker's dispatch match),
+the *allowed* orderings, and a one-line justification.  The lint fails
+CI when
+
+  * an `Ordering::` use has no covering contract row, or
+  * the ordering used deviates from the row's allowed set, or
+  * a contract row matches no occurrence at all (stale row).
+
+It is purely offline: stdlib only, no network, no cargo.
+
+Usage:
+    scripts/ordering_lint.py              # lint (exit 1 on violation)
+    scripts/ordering_lint.py --dump       # print observed-inventory table
+    scripts/ordering_lint.py --root DIR   # repo root (default: script/../)
+
+Matching model
+--------------
+An occurrence is keyed `(file, key)` where `file` is relative to
+`crates/core/src` and `key` is either
+
+  * `field.op`  — receiver identifier + atomic method, e.g.
+    `public_bot.store`, `age.compare_exchange`; free `fence(...)` calls
+    key as `fence.fence`;
+  * `fn:name`   — fallback for orderings not inside an atomic call
+    (the enclosing function), e.g. the hb shim's ordering match.
+
+The binding scans for the innermost enclosing call among
+load/store/swap/compare_exchange[_weak]/fetch_*/fetch_update/fence, by
+paren matching, so multi-line calls and nested calls
+(`a.store(b.load(Acquire), Release)`) bind correctly.
+
+`#[cfg(test)]`-gated regions, comments, and string literals are
+stripped before scanning: the contract governs shipped code, not test
+scaffolding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+ORDERINGS = {"Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"}
+
+ATOMIC_METHODS = (
+    "compare_exchange_weak",
+    "compare_exchange",
+    "fetch_update",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "load",
+    "store",
+    "swap",
+)
+
+OP_SITE_RE = re.compile(
+    r"(?:(?P<recv>[A-Za-z_][A-Za-z0-9_]*)\s*\.\s*(?P<meth>"
+    + "|".join(ATOMIC_METHODS)
+    + r")|(?<![A-Za-z0-9_.])(?P<fence>fence))\s*\("
+)
+ORDERING_RE = re.compile(r"\bOrdering\s*::\s*(?P<ord>[A-Za-z]+)")
+FN_RE = re.compile(r"\bfn\s+([A-Za-z_][A-Za-z0-9_]*)")
+CFG_TEST_RE = re.compile(r"#\s*\[\s*cfg\s*\(\s*(?:test\b|all\s*\(\s*test\b|any\s*\(\s*test\b)")
+
+
+def strip_noise(src: str) -> str:
+    """Blank out comments and string/char literals, preserving offsets."""
+    out = list(src)
+    i, n = 0, len(src)
+    while i < n:
+        c = src[i]
+        if c == "/" and i + 1 < n and src[i + 1] == "/":
+            j = src.find("\n", i)
+            j = n if j == -1 else j
+            for k in range(i, j):
+                out[k] = " "
+            i = j
+        elif c == "/" and i + 1 < n and src[i + 1] == "*":
+            depth, j = 1, i + 2
+            while j < n and depth:
+                if src.startswith("/*", j):
+                    depth += 1
+                    j += 2
+                elif src.startswith("*/", j):
+                    depth -= 1
+                    j += 2
+                else:
+                    j += 1
+            for k in range(i, j):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j
+        elif c == '"':
+            j = i + 1
+            while j < n:
+                if src[j] == "\\":
+                    j += 2
+                elif src[j] == '"':
+                    j += 1
+                    break
+                else:
+                    j += 1
+            for k in range(i + 1, min(j - 1, n)):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j
+        elif c == "'":
+            # Char literal or lifetime. Treat as char literal only when it
+            # closes within a few chars ('x', '\n', '\u{..}').
+            m = re.match(r"'(?:\\u\{[0-9a-fA-F]+\}|\\.|[^'\\])'", src[i:])
+            if m:
+                for k in range(i, i + m.end()):
+                    out[k] = " "
+                i += m.end()
+            else:
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def strip_cfg_test(src: str) -> str:
+    """Blank out every `#[cfg(test)] <item> { .. }` region, offset-preserving."""
+    out = list(src)
+    for m in CFG_TEST_RE.finditer(src):
+        # Find the opening brace of the gated item and blank to its match.
+        i = src.find("{", m.end())
+        if i == -1:
+            continue
+        depth, j = 1, i + 1
+        n = len(src)
+        while j < n and depth:
+            if out[j] == "{":
+                depth += 1
+            elif out[j] == "}":
+                depth -= 1
+            j += 1
+        for k in range(m.start(), j):
+            if out[k] != "\n":
+                out[k] = " "
+    return "".join(out)
+
+
+class Occurrence:
+    __slots__ = ("file", "line", "key", "ordering")
+
+    def __init__(self, file: str, line: int, key: str, ordering: str):
+        self.file = file
+        self.line = line
+        self.key = key
+        self.ordering = ordering
+
+
+def bind_occurrences(rel: str, src: str) -> list[Occurrence]:
+    """Assign every Ordering:: token to its innermost atomic-call site."""
+    clean = strip_cfg_test(strip_noise(src))
+    # Pre-compute op sites with their paren spans.
+    sites = []  # (open_paren_idx, close_idx, key)
+    for m in OP_SITE_RE.finditer(clean):
+        open_idx = m.end() - 1
+        depth, j = 1, open_idx + 1
+        n = len(clean)
+        while j < n and depth:
+            if clean[j] == "(":
+                depth += 1
+            elif clean[j] == ")":
+                depth -= 1
+            j += 1
+        key = "fence.fence" if m.group("fence") else f"{m.group('recv')}.{m.group('meth')}"
+        sites.append((open_idx, j, key))
+    fns = [(m.start(), m.group(1)) for m in FN_RE.finditer(clean)]
+
+    occs = []
+    for m in ORDERING_RE.finditer(clean):
+        ordering = m.group("ord")
+        if ordering not in ORDERINGS:
+            continue
+        pos = m.start()
+        line = clean.count("\n", 0, pos) + 1
+        # Innermost enclosing site = the one with the latest open paren
+        # before pos whose span still contains pos.
+        best = None
+        for open_idx, close_idx, key in sites:
+            if open_idx < pos < close_idx and (best is None or open_idx > best[0]):
+                best = (open_idx, key)
+        if best:
+            key = best[1]
+        else:
+            prior = [name for start, name in fns if start < pos]
+            key = f"fn:{prior[-1]}" if prior else "fn:?"
+        occs.append(Occurrence(rel, line, key, ordering))
+    return occs
+
+
+ROW_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|\s*`([^`]+)`\s*\|\s*([^|]*)\|(.*)$")
+
+
+def parse_contract(path: Path):
+    """Parse `| `file` | `key` | Allowed | Justification |` table rows."""
+    rows = {}  # (file, key) -> (allowed set, lineno)
+    errors = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        m = ROW_RE.match(line.strip())
+        if not m:
+            continue
+        file, key, allowed_raw = m.group(1), m.group(2), m.group(3)
+        allowed = {a.strip() for a in allowed_raw.replace(",", " ").split() if a.strip()}
+        bad = allowed - ORDERINGS
+        if bad:
+            errors.append(f"{path}:{lineno}: unknown ordering(s) {sorted(bad)} in row `{file}` `{key}`")
+            allowed &= ORDERINGS
+        if (file, key) in rows:
+            errors.append(f"{path}:{lineno}: duplicate row for `{file}` `{key}`")
+        rows[(file, key)] = (allowed, lineno)
+    return rows, errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent)
+    ap.add_argument("--dump", action="store_true", help="print observed inventory as a table skeleton")
+    args = ap.parse_args()
+
+    src_root = args.root / "crates" / "core" / "src"
+    contract_path = args.root / "docs" / "ordering_contract.md"
+
+    occs: list[Occurrence] = []
+    for path in sorted(src_root.rglob("*.rs")):
+        rel = path.relative_to(src_root).as_posix()
+        occs.extend(bind_occurrences(rel, path.read_text()))
+
+    if args.dump:
+        grouped = defaultdict(lambda: (set(), []))
+        for o in occs:
+            seen, lines = grouped[(o.file, o.key)]
+            seen.add(o.ordering)
+            lines.append(o.line)
+        print("| File | Site | Allowed | Justification |")
+        print("|---|---|---|---|")
+        for (file, key), (seen, lines) in sorted(grouped.items()):
+            ords = ", ".join(sorted(seen, key=list(ORDERINGS).index)) if seen else ""
+            print(f"| `{file}` | `{key}` | {ords} | TODO (lines {', '.join(map(str, sorted(set(lines))))}) |")
+        print(f"\n{len(occs)} occurrences, {len(grouped)} distinct sites", file=sys.stderr)
+        return 0
+
+    if not contract_path.exists():
+        print(f"ordering-lint: missing contract doc {contract_path}", file=sys.stderr)
+        return 1
+
+    rows, errors = parse_contract(contract_path)
+    used_rows = set()
+    for o in occs:
+        row = rows.get((o.file, o.key))
+        if row is None:
+            errors.append(
+                f"crates/core/src/{o.file}:{o.line}: `Ordering::{o.ordering}` at site `{o.key}` "
+                f"has no contract row in docs/ordering_contract.md"
+            )
+            continue
+        allowed, row_line = row
+        used_rows.add((o.file, o.key))
+        if o.ordering not in allowed:
+            errors.append(
+                f"crates/core/src/{o.file}:{o.line}: `Ordering::{o.ordering}` at site `{o.key}` "
+                f"deviates from contract row (docs/ordering_contract.md:{row_line} allows "
+                f"{{{', '.join(sorted(allowed))}}})"
+            )
+    for (file, key), (_, row_line) in sorted(rows.items()):
+        if (file, key) not in used_rows:
+            errors.append(
+                f"docs/ordering_contract.md:{row_line}: stale row `{file}` `{key}` matches no "
+                f"`Ordering::` occurrence in crates/core/src"
+            )
+
+    if errors:
+        for e in errors:
+            print(f"ordering-lint: {e}", file=sys.stderr)
+        print(f"ordering-lint: FAIL ({len(errors)} violation(s), {len(occs)} occurrences checked)", file=sys.stderr)
+        return 1
+    print(f"ordering-lint: OK ({len(occs)} `Ordering::` occurrences across {len(set(o.file for o in occs))} files, "
+          f"{len(rows)} contract rows, 100% coverage)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,9 +79,18 @@ pub const EAGAIN: c_int = 11;
 /// Invalid argument — e.g. a reused/invalid pthread handle.
 pub const EINVAL: c_int = 22;
 
+/// `pthread_sigmask` how-values (Linux/glibc).
+pub const SIG_BLOCK: c_int = 0;
+/// Unblock the signals in the given set.
+pub const SIG_UNBLOCK: c_int = 1;
+/// Replace the thread's mask with the given set.
+pub const SIG_SETMASK: c_int = 2;
+
 extern "C" {
     pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
     pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn sigaddset(set: *mut sigset_t, signum: c_int) -> c_int;
+    pub fn pthread_sigmask(how: c_int, set: *const sigset_t, oldset: *mut sigset_t) -> c_int;
     pub fn pthread_self() -> pthread_t;
     pub fn pthread_kill(thread: pthread_t, sig: c_int) -> c_int;
     pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
