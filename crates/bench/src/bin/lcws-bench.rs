@@ -18,19 +18,25 @@
 //!   trace layer; `null` unless built with `--features trace`.
 //! * `scheduler` — informational counters from one fine-grained run
 //!   (idle wakeups, overflow inlines, steal aborts, ring grows).
+//! * `granularity` — tiny-task flood (2^14 near-empty tasks through a
+//!   skewed scope): per-variant latency plus the near-first + steal-half
+//!   policy composition, the regime where scheduling overhead dominates.
 //! * `ingress` — external-submission throughput through the global
 //!   injector: a spawn→join round-trip rate, and the many-producer stress
 //!   (64 producers × 10⁵ tasks by default) in a single timed round with
 //!   its push/pop accounting.
 //!
 //! Usage: `cargo run --release -p lcws-bench --bin lcws-bench [-- --out
-//! BENCH_8.json --threads N]`
+//! BENCH_10.json --threads N]`
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use lcws_core::deque::{AbpDeque, SplitDeque};
-use lcws_core::{join, par_for_grain, ExposurePolicy, PoolBuilder, PopBottomMode, Variant};
+use lcws_core::{
+    join, par_for_grain, scope, ExposurePolicy, Policies, PoolBuilder, PopBottomMode, Variant,
+    VictimSelection,
+};
 
 struct Config {
     out: String,
@@ -42,7 +48,7 @@ struct Config {
 
 fn parse_args() -> Config {
     let mut cfg = Config {
-        out: "BENCH_8.json".to_string(),
+        out: "BENCH_10.json".to_string(),
         threads: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
@@ -297,6 +303,63 @@ fn scheduler_counters(cfg: &Config, out: &mut Obj) {
     );
 }
 
+/// Tiny-task flood — the granularity stress ROADMAP item 5 called for.
+///
+/// A skewed scope: the root spawns 2^14 near-empty tasks, so all the work
+/// sits in one deque and every other worker lives off exposure + stealing.
+/// This is the regime where scheduling policy dominates (the per-task work
+/// is ~a fetch_add), so it separates the exposure/steal compositions:
+/// per-variant flood latency for WS / Signal / Expose Half, plus the
+/// near-first + steal-half composition from the policy layer (§5h). The
+/// informational `flood_half_batched_tasks` counter records how many
+/// tasks moved in multi-slot takes during the Expose Half rounds.
+fn bench_granularity(cfg: &Config, out: &mut Obj) {
+    const TASKS: usize = 1 << 14;
+    let threads = cfg.threads.max(2);
+    let flood = |pool: &lcws_core::ThreadPool| {
+        let hits = AtomicU64::new(0);
+        let (_, m) = pool.run_measured(|| {
+            scope(|s| {
+                for _ in 0..TASKS {
+                    let hits = &hits;
+                    s.spawn(move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(
+            hits.into_inner(),
+            TASKS as u64,
+            "flood lost tasks — refusing to report a latency"
+        );
+        m.steal_batch_tasks()
+    };
+    for variant in [Variant::Ws, Variant::Signal, Variant::SignalHalf] {
+        let pool = PoolBuilder::new(variant).threads(threads).build();
+        let mut batched = 0u64;
+        let ns = median_ns(cfg.rounds, || {
+            batched += flood(&pool);
+        });
+        out.int(&format!("flood16k_{variant}_ns"), ns);
+        if variant == Variant::SignalHalf {
+            out.int("flood_half_batched_tasks", batched);
+        }
+        eprintln!("granularity/flood16k {variant}: {ns} ns (batched={batched})");
+    }
+    let mut p = Policies::signal_half();
+    p.victim = VictimSelection::NearFirst;
+    let pool = PoolBuilder::new(Variant::SignalHalf)
+        .policies(p)
+        .threads(threads)
+        .build();
+    let ns = median_ns(cfg.rounds, || {
+        flood(&pool);
+    });
+    out.int("flood16k_half_near_first_ns", ns);
+    eprintln!("granularity/flood16k half+near-first: {ns} ns");
+}
+
 /// External-ingress throughput through the global injector.
 ///
 /// Two numbers: the spawn→join round-trip rate for a single external
@@ -326,10 +389,7 @@ fn bench_ingress(cfg: &Config, out: &mut Obj) {
     });
     pool.shutdown();
     out.num("injector_spawn_join_per_sec", per_sec(BATCH, ns));
-    eprintln!(
-        "ingress/spawn_join: {:.0} tasks/s",
-        per_sec(BATCH, ns)
-    );
+    eprintln!("ingress/spawn_join: {:.0} tasks/s", per_sec(BATCH, ns));
 
     // Many-producer stress: stress_producers external threads each submit
     // stress_tasks fire-and-forget tasks; the clock covers first submit
@@ -391,6 +451,9 @@ fn main() {
     let mut sched = Obj::default();
     scheduler_counters(&cfg, &mut sched);
 
+    let mut granularity = Obj::default();
+    bench_granularity(&cfg, &mut granularity);
+
     let mut ingress = Obj::default();
     bench_ingress(&cfg, &mut ingress);
 
@@ -414,6 +477,7 @@ fn main() {
         siglat.map_or("null".to_string(), |o| o.render(2)),
     );
     root.raw("scheduler", sched.render(2));
+    root.raw("granularity", granularity.render(2));
     root.raw("ingress", ingress.render(2));
 
     let json = format!("{}\n", root.render(0));

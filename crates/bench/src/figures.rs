@@ -335,17 +335,18 @@ fn per_variant_extremes(r: &mut Report, ms: &[Measurement], variant: Variant, cs
 /// post-hoc analysis).
 pub fn raw_csv(ms: &[Measurement]) -> (String, Vec<String>) {
     let header = format!(
-        "benchmark,input,variant,threads,secs_mean,secs_min,checksum,{}",
+        "benchmark,input,variant,policies,threads,secs_mean,secs_min,checksum,{}",
         lcws_core::Snapshot::csv_header()
     );
     let rows = ms
         .iter()
         .map(|m| {
             format!(
-                "{},{},{},{},{},{},{:#x},{}",
+                "{},{},{},{},{},{},{},{:#x},{}",
                 m.benchmark,
                 m.input,
                 m.variant.name(),
+                m.policies,
                 m.threads,
                 m.secs,
                 m.secs_min,

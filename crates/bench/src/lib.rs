@@ -19,4 +19,4 @@ pub mod sweep;
 
 pub use report::Report;
 pub use stats::BoxStats;
-pub use sweep::{sweep, Measurement, SweepConfig};
+pub use sweep::{sweep, Composition, Measurement, SweepConfig};

@@ -4,14 +4,81 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use lcws_core::{PoolBuilder, Snapshot, ThreadPool, Variant};
+use lcws_core::{
+    IdlePolicy, Policies, PoolBuilder, Snapshot, StealAmount, ThreadPool, Variant, VictimSelection,
+};
 use pbbs_rs::registry::{all_instances, Instance};
+
+/// One named scheduler composition: a base variant plus policy-axis
+/// overrides from the composable layer (DESIGN.md §5h). A plain variant is
+/// the composition `Composition::of(v)` whose label is `v.name()`, so the
+/// default sweep CSVs are unchanged except for the extra `policies`
+/// column.
+#[derive(Debug, Clone)]
+pub struct Composition {
+    /// CSV/report label (`signal+near-first+steal-half` style).
+    pub label: String,
+    /// Base variant (keys the speedup/ratio joins).
+    pub variant: Variant,
+    /// The full policy bundle the pool is built with.
+    pub policies: Policies,
+}
+
+impl Composition {
+    /// The plain composition of a named variant.
+    pub fn of(variant: Variant) -> Composition {
+        Composition {
+            label: variant.name().to_string(),
+            variant,
+            policies: variant.policies(),
+        }
+    }
+
+    /// Parse a `variant[+modifier...]` spec. Modifiers: `near-first` /
+    /// `uniform` (victim axis), `steal-half` / `steal-one` (amount axis),
+    /// `spin-only` / `adaptive` (idle axis). The resulting bundle is
+    /// validated — impossible pairings (e.g. `ws+steal-half`: ABP has no
+    /// batch CAS) are rejected here rather than panicking at build time.
+    pub fn parse(spec: &str) -> Result<Composition, String> {
+        let mut parts = spec.split('+');
+        let base = parts.next().unwrap_or_default();
+        let variant: Variant = base
+            .parse()
+            .map_err(|_| format!("unknown variant `{base}` in composition `{spec}`"))?;
+        let mut policies = variant.policies();
+        for m in parts {
+            match m {
+                "near-first" => policies.victim = VictimSelection::NearFirst,
+                "uniform" => policies.victim = VictimSelection::Uniform,
+                "steal-half" => policies.steal = StealAmount::Half,
+                "steal-one" => policies.steal = StealAmount::One,
+                "spin-only" => policies.idle = IdlePolicy::SpinOnly,
+                "adaptive" => policies.idle = IdlePolicy::Adaptive,
+                other => {
+                    return Err(format!("unknown policy modifier `{other}` in `{spec}`"));
+                }
+            }
+        }
+        policies
+            .validate()
+            .map_err(|e| format!("composition `{spec}` is unsound: {e}"))?;
+        Ok(Composition {
+            label: spec.to_string(),
+            variant,
+            policies,
+        })
+    }
+}
 
 /// What to run.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Scheduler variants to execute (WS is required by speedup reports).
     pub variants: Vec<Variant>,
+    /// Extra policy compositions to run *in addition to* `variants`
+    /// (empty by default; `--compositions` on the CLI). Each appears in
+    /// the sweep output as its own row, keyed by its label.
+    pub compositions: Vec<Composition>,
     /// Worker counts (the paper's processor axis).
     pub threads: Vec<usize>,
     /// Repetitions per configuration (paper: 10; default here: 3).
@@ -28,6 +95,7 @@ impl Default for SweepConfig {
     fn default() -> Self {
         SweepConfig {
             variants: Variant::ALL.to_vec(),
+            compositions: Vec::new(),
             threads: vec![1, 2, 4, 8],
             reps: 3,
             filter: None,
@@ -72,6 +140,12 @@ impl SweepConfig {
                         .map(|s| s.parse().expect("bad variant"))
                         .collect();
                 }
+                "--compositions" => {
+                    cfg.compositions = take()
+                        .split(',')
+                        .map(|s| Composition::parse(s).unwrap_or_else(|e| panic!("{e}")))
+                        .collect();
+                }
                 "--threads" => {
                     cfg.threads = take()
                         .split(',')
@@ -85,8 +159,10 @@ impl SweepConfig {
                 "--quiet" => cfg.progress = false,
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --variants a,b --threads 1,2,4 --reps N \
-                         --scale F --filter SUBSTR --verify --quiet"
+                        "options: --variants a,b \
+                         --compositions signal+near-first+steal-half,... \
+                         --threads 1,2,4 --reps N --scale F --filter SUBSTR \
+                         --verify --quiet"
                     );
                     std::process::exit(0);
                 }
@@ -106,6 +182,9 @@ pub struct Measurement {
     pub input: String,
     /// Scheduler variant.
     pub variant: Variant,
+    /// Policy-composition label (`variant.name()` for plain variants;
+    /// `signal+near-first` style for explicit compositions).
+    pub policies: String,
     /// Worker count.
     pub threads: usize,
     /// Mean wall-clock seconds over the repetitions.
@@ -154,9 +233,19 @@ pub fn sweep(cfg: &SweepConfig) -> Vec<Measurement> {
                 panic!("{} failed verification: {e}", inst.label());
             }
         }
-        for &variant in &cfg.variants {
+        let compositions: Vec<Composition> = cfg
+            .variants
+            .iter()
+            .map(|&v| Composition::of(v))
+            .chain(cfg.compositions.iter().cloned())
+            .collect();
+        for comp in &compositions {
+            let variant = comp.variant;
             for &threads in &cfg.threads {
-                let pool = PoolBuilder::new(variant).threads(threads).build();
+                let pool = PoolBuilder::new(variant)
+                    .policies(comp.policies)
+                    .threads(threads)
+                    .build();
                 // One untimed warmup, then the measured repetitions.
                 let _ = pool.run(|| prepared.run_parallel());
                 let mut total = Duration::ZERO;
@@ -186,7 +275,7 @@ pub fn sweep(cfg: &SweepConfig) -> Vec<Measurement> {
                     eprintln!(
                         "[run] {:<42} {:<7} P={:<3} {:>9.2} ms",
                         inst.label(),
-                        variant.name(),
+                        comp.label,
                         threads,
                         total.as_secs_f64() * 1e3 / cfg.reps as f64
                     );
@@ -195,6 +284,7 @@ pub fn sweep(cfg: &SweepConfig) -> Vec<Measurement> {
                     benchmark: inst.benchmark.to_string(),
                     input: inst.input.to_string(),
                     variant,
+                    policies: comp.label.clone(),
                     threads,
                     secs: total.as_secs_f64() / cfg.reps as f64,
                     secs_min: best.as_secs_f64(),
@@ -208,9 +298,14 @@ pub fn sweep(cfg: &SweepConfig) -> Vec<Measurement> {
 }
 
 /// Index measurements as `(label, threads) → variant → measurement`.
+///
+/// Only plain-variant rows participate: explicit policy compositions share
+/// a base variant with the plain row and would silently overwrite it in
+/// the per-variant join the figures consume. Composition rows still reach
+/// the raw CSV dump via their `policies` label.
 pub fn by_config(ms: &[Measurement]) -> HashMap<ConfigKey, HashMap<Variant, &Measurement>> {
     let mut map: HashMap<ConfigKey, HashMap<Variant, &Measurement>> = HashMap::new();
-    for m in ms {
+    for m in ms.iter().filter(|m| m.policies == m.variant.name()) {
         map.entry((m.label(), m.threads))
             .or_default()
             .insert(m.variant, m);
@@ -264,10 +359,39 @@ pub fn unstolen_fractions(
     variant: Variant,
 ) -> std::collections::BTreeMap<usize, Vec<f64>> {
     let mut out: std::collections::BTreeMap<usize, Vec<f64>> = Default::default();
-    for m in ms.iter().filter(|m| m.variant == variant) {
+    for m in ms
+        .iter()
+        .filter(|m| m.variant == variant && m.policies == m.variant.name())
+    {
         if let Some(f) = m.metrics.unstolen_exposure_ratio() {
             out.entry(m.threads).or_default().push(f);
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compositions_parse_modifiers_and_reject_unsound_points() {
+        let c = Composition::parse("signal+near-first+steal-half").unwrap();
+        assert_eq!(c.variant, Variant::Signal);
+        assert_eq!(c.policies.victim, VictimSelection::NearFirst);
+        assert_eq!(c.policies.steal, StealAmount::Half);
+        assert_eq!(c.label, "signal+near-first+steal-half");
+
+        // Plain compositions match the variant bundle exactly.
+        let plain = Composition::of(Variant::SignalHalf);
+        assert_eq!(plain.label, "half");
+        assert_eq!(plain.policies, Variant::SignalHalf.policies());
+
+        // ABP has no batch-CAS protocol; the parse rejects it with the
+        // PolicyError text instead of panicking at pool build.
+        let err = Composition::parse("ws+steal-half").unwrap_err();
+        assert!(err.contains("unsound"), "{err}");
+        assert!(Composition::parse("signal+bogus").is_err());
+        assert!(Composition::parse("notavariant").is_err());
+    }
 }

@@ -29,6 +29,7 @@ fn m(
         benchmark: bench.into(),
         input: input.into(),
         variant,
+        policies: variant.name().to_string(),
         threads,
         secs,
         secs_min: secs,

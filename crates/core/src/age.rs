@@ -51,6 +51,18 @@ impl Age {
         }
     }
 
+    /// This age with `top` advanced by `k` (a successful batch steal of `k`
+    /// tasks validated by a single CAS). Wraps like
+    /// [`Age::with_top_incremented`]; `with_top_advanced(1)` is identical to
+    /// it.
+    #[inline]
+    pub fn with_top_advanced(self, k: u32) -> Age {
+        Age {
+            tag: self.tag,
+            top: self.top.wrapping_add(k),
+        }
+    }
+
     /// The age after a deque reset: `top` back to zero, `tag` bumped so
     /// in-flight thieves holding the old age fail their CAS.
     #[inline]
@@ -144,6 +156,14 @@ mod tests {
     fn increment_and_reset() {
         let a = Age { tag: 3, top: 9 };
         assert_eq!(a.with_top_incremented(), Age { tag: 3, top: 10 });
+        assert_eq!(a.with_top_advanced(1), a.with_top_incremented());
+        assert_eq!(a.with_top_advanced(5), Age { tag: 3, top: 14 });
+        // Multi-slot advance wraps like the single-slot one.
+        let e = Age {
+            tag: 3,
+            top: u32::MAX - 1,
+        };
+        assert_eq!(e.with_top_advanced(3), Age { tag: 3, top: 1 });
         assert_eq!(a.reset(), Age { tag: 4, top: 0 });
         // Tag wraps instead of overflowing.
         let m = Age {

@@ -18,7 +18,9 @@ use lcws_metrics as metrics;
 
 use crate::age::{Age, AtomicAge};
 use crate::deque::ring::GrowableRing;
-use crate::deque::{sdist, DequeFull, Steal};
+// Aliased locally: the ABP outcome type has no `PrivateWork` (there is no
+// private part), and the alias keeps the paper-mirroring internals readable.
+use crate::deque::{sdist, AbpSteal as Steal, DequeFull};
 use crate::fault::{self, Site};
 use crate::hb;
 use crate::job::Job;
@@ -302,7 +304,10 @@ mod tests {
         d.reset_for_respawn();
         let (bot, age) = d.raw_state();
         assert_eq!((bot, age.top), (0, 0));
-        assert!(age.tag > tag_before, "respawn reset must open a new tag era");
+        assert!(
+            age.tag > tag_before,
+            "respawn reset must open a new tag era"
+        );
         d.push_bottom(job(3));
         assert_eq!(d.pop_bottom(), Some(job(3)));
     }

@@ -19,7 +19,7 @@ mod split;
 
 pub use abp::AbpDeque;
 pub use ring::MAX_DEQUE_CAPACITY;
-pub use split::{double2int, ExposurePolicy, PopBottomMode, SplitDeque};
+pub use split::{double2int, ExposurePolicy, PopBottomMode, SplitDeque, STEAL_BATCH_MAX};
 
 use crate::job::Job;
 
@@ -55,16 +55,20 @@ impl std::fmt::Display for DequeFull {
 
 impl std::error::Error for DequeFull {}
 
-/// Outcome of a thief's `pop_top` attempt.
+/// Outcome of a thief's `pop_top` attempt on the **split** deque.
+///
+/// The ABP deque has its own outcome type ([`AbpSteal`]) without the
+/// `PrivateWork` sentinel: a fully-concurrent deque has no private part, so
+/// the type system — not a dead match arm — rules the state out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Steal {
     /// A task was stolen.
     Ok(*mut Job),
-    /// The deque (public part, for split deques) holds no work at all.
+    /// The public part holds no work at all.
     Empty,
-    /// Split deque only: the public part is empty but the victim has private
-    /// work — the thief should request exposure (set the `targeted` flag /
-    /// send a signal). This is the paper's `PRIVATE_WORK` sentinel.
+    /// The public part is empty but the victim has private work — the thief
+    /// should request exposure (set the `targeted` flag / send a signal).
+    /// This is the paper's `PRIVATE_WORK` sentinel.
     PrivateWork,
     /// The CAS race was lost to another taker; retry elsewhere. This is the
     /// paper's `ABORT` sentinel.
@@ -77,6 +81,30 @@ impl Steal {
     pub fn success(self) -> Option<*mut Job> {
         match self {
             Steal::Ok(j) => Some(j),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a thief's `pop_top` attempt on the **ABP** deque, which can
+/// never report `PrivateWork` — every task in a fully-concurrent deque is
+/// public.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbpSteal {
+    /// A task was stolen.
+    Ok(*mut Job),
+    /// The deque holds no work.
+    Empty,
+    /// The CAS race was lost to another taker; retry elsewhere.
+    Abort,
+}
+
+impl AbpSteal {
+    /// The stolen job, if any.
+    #[inline]
+    pub fn success(self) -> Option<*mut Job> {
+        match self {
+            AbpSteal::Ok(j) => Some(j),
             _ => None,
         }
     }

@@ -228,7 +228,8 @@ impl GrowableRing {
         // `grow_publish_order()` is a compile-time `Release` unless an hb
         // negative test deliberately weakens it to demonstrate the checker
         // catches the severed copied-slots edge.
-        self.buffer.store(new_ptr, hb::negative::grow_publish_order());
+        self.buffer
+            .store(new_ptr, hb::negative::grow_publish_order());
         // Retired rings stay readable (never written) until quiescence.
         unsafe { (*self.retired.get()).push(old as *const RingBuffer as *mut RingBuffer) };
         metrics::bump(metrics::Counter::DequeGrow);
@@ -276,10 +277,7 @@ fn forget_ring_slots(p: *mut RingBuffer) {
     // Safety: the caller owns `p` and is about to free it.
     unsafe {
         let slots: &[AtomicPtr<Job>] = &(*p).slots;
-        hb::forget_range(
-            slots.as_ptr() as usize,
-            std::mem::size_of_val(slots),
-        );
+        hb::forget_range(slots.as_ptr() as usize, std::mem::size_of_val(slots));
     }
 }
 

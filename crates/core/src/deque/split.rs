@@ -124,6 +124,13 @@ pub fn double2int(r: f64) -> i32 {
     (r + MAGIC).to_bits() as i32
 }
 
+/// Upper bound on tasks a single [`SplitDeque::pop_top_batch`] call can
+/// transfer (the first returned task plus up to `STEAL_BATCH_MAX - 1`
+/// extras). Bounds the thief-side stack buffers; the protocol itself caps
+/// the take at half the public part, so this only bites on very full
+/// deques.
+pub const STEAL_BATCH_MAX: usize = 16;
+
 /// The split deque (Listing 2). One per worker; the worker is the only
 /// caller of `push_bottom` / `pop_bottom` / `pop_public_bottom` /
 /// `update_public_bottom`, while any thief may call `pop_top` /
@@ -395,6 +402,106 @@ impl SplitDeque {
         }
     }
 
+    /// Thief: steal up to `⌈public/2⌉` tasks with **one** validating `age`
+    /// CAS (the steal-half policy, [`crate::StealAmount::Half`]).
+    ///
+    /// Returns the top-most stolen task exactly like
+    /// [`SplitDeque::pop_top`]; any *additional* tasks (at most `max_extra`,
+    /// itself capped by [`STEAL_BATCH_MAX`]` - 1`) are appended to `extras`
+    /// in top-to-bottom order for the thief to requeue locally. Empty /
+    /// private-work / abort outcomes are identical to the scalar steal, and
+    /// with `max_extra == 0` this *is* the scalar steal.
+    ///
+    /// ## Why one CAS over `k` slots is safe (§4 signal-window argument)
+    ///
+    /// The scalar proof: a thief reads slot `top`, then CASes
+    /// `age: {tag, top} → {tag, top+1}`; the CAS succeeding proves `top`
+    /// never moved between the read and the commit, so the slot could not
+    /// have been overwritten (overwrite requires the owner to reclaim the
+    /// index, which requires the era reset that bumps `tag`) nor taken by
+    /// another thief (which requires advancing `top`).
+    ///
+    /// The multi-slot extension takes `k ≤ ⌈sdist(public_bot, top)/2⌉`
+    /// slots `[top, top+k)`. Every index is strictly below the
+    /// `public_bot` value loaded *after* `age`, so every slot was written
+    /// before the exposure's Release store and the Acquire load here — the
+    /// per-slot publication edge is the scalar one, `k` times. The single
+    /// CAS `{tag, top} → {tag, top+k}` validates all `k` reads at once: if
+    /// any other taker (thief CAS, owner reset) touched the range first,
+    /// `top` or `tag` changed and the CAS fails, taking nothing. An owner
+    /// `pop_public_bottom` racing on the *last* public task CASes the same
+    /// word, so the two-fence reset protocol is undisturbed: the batch
+    /// either wins wholly before the reset (owner sees `top` advanced,
+    /// resigns) or loses wholly. Signal-handler exposures only move
+    /// `public_bot` upward, which can only under-count `avail` here —
+    /// never expose a slot to double-take. Taking at most *half* (the
+    /// ceiling) leaves the remainder immediately re-stealable, preserving
+    /// the paper's steal-half fairness argument on the thief side.
+    pub fn pop_top_batch(&self, extras: &mut Vec<*mut Job>, max_extra: usize) -> Steal {
+        fault::point(Site::PopTop);
+        metrics::bump(metrics::Counter::StealAttempt);
+        let old_age = self.age.load(Ordering::Acquire);
+        let pb = self.public_bot.load(Ordering::Acquire);
+        let avail = sdist(pb, old_age.top);
+        if avail > 0 {
+            let avail = avail as u32;
+            // Half of the public part, rounded up, capped by the caller's
+            // budget and the stack-array bound; always at least the one
+            // task a scalar steal would take.
+            let k = (avail.div_ceil(2))
+                .min(max_extra.min(STEAL_BATCH_MAX - 1) as u32 + 1)
+                .max(1) as usize;
+            // Single buffer capture per steal, after the `age` load, exactly
+            // as in pop_top: the CAS below fails whenever `top` moved, which
+            // is the only way any of the `k` slots could have been
+            // overwritten or the ring retired mid-steal.
+            let buf = self.ring.capture();
+            let mut tasks = [std::ptr::null_mut::<Job>(); STEAL_BATCH_MAX];
+            let mut pending: [Option<hb::PendingRead>; STEAL_BATCH_MAX] =
+                std::array::from_fn(|_| None);
+            for (i, (task, pend)) in tasks.iter_mut().zip(pending.iter_mut()).take(k).enumerate() {
+                let slot = buf.slot(old_age.top.wrapping_add(i as u32));
+                // Speculative for the checker: these reads only count (and
+                // only race) if the validating CAS below commits them.
+                *pend = Some(hb::speculative_read(
+                    slot as *const _ as usize,
+                    "split slot (pop_top_batch)",
+                ));
+                *task = slot.load(Ordering::Relaxed);
+            }
+            let new_age = old_age.with_top_advanced(k as u32);
+            // Same stretchable read-age → CAS window as the scalar steal.
+            if fault::fail_at(Site::PopTop) {
+                metrics::bump(metrics::Counter::StealAbort);
+                return Steal::Abort;
+            }
+            metrics::record_cas();
+            if self
+                .age
+                .compare_exchange(old_age, new_age, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                for pend in pending.iter_mut().take(k) {
+                    hb::commit_read(pend.take().expect("pending read recorded above"));
+                }
+                metrics::bump(metrics::Counter::StealOk);
+                if k > 1 {
+                    metrics::bump_by(metrics::Counter::StealBatchTask, (k - 1) as u64);
+                    extras.extend_from_slice(&tasks[1..k]);
+                }
+                return Steal::Ok(tasks[0]);
+            }
+            metrics::bump(metrics::Counter::StealAbort);
+            return Steal::Abort;
+        }
+        if sdist(pb, self.bot.load(Ordering::Relaxed)) < 0 {
+            metrics::bump(metrics::Counter::StealPrivate);
+            Steal::PrivateWork
+        } else {
+            Steal::Empty
+        }
+    }
+
     /// Owner (possibly from a signal handler): transfer private tasks to the
     /// public part according to `policy`. Returns how many were exposed.
     ///
@@ -440,7 +547,8 @@ impl SplitDeque {
             debug_assert!(exposed <= r);
             // Release pairs with the Acquire in pop_top so thieves see the
             // slot contents before the moved boundary.
-            self.public_bot.store(pb.wrapping_add(exposed), Ordering::Release);
+            self.public_bot
+                .store(pb.wrapping_add(exposed), Ordering::Release);
             metrics::bump_by(metrics::Counter::Exposure, exposed as u64);
             // May run in signal-handler context; the trace record is
             // async-signal-safe by design (see `crate::trace`).
@@ -739,6 +847,84 @@ mod tests {
     }
 
     #[test]
+    fn batch_steal_takes_half_of_public_rounded_up() {
+        let d = SplitDeque::new(32);
+        for i in 1..=8 {
+            d.push_bottom(job(i));
+        }
+        // Expose all 8, then batch-steal: ⌈8/2⌉ = 4 tasks, one CAS.
+        assert_eq!(d.expose_all(), 8);
+        let mut extras = Vec::new();
+        assert_eq!(
+            d.pop_top_batch(&mut extras, STEAL_BATCH_MAX - 1),
+            Steal::Ok(job(1))
+        );
+        // Extras come out in top-to-bottom (oldest-first) order.
+        assert_eq!(extras, vec![job(2), job(3), job(4)]);
+        assert_eq!(d.public_len(), 4, "surplus stays immediately re-stealable");
+        // The remaining half is still stealable through the scalar path.
+        assert_eq!(d.pop_top(), Steal::Ok(job(5)));
+    }
+
+    #[test]
+    fn batch_steal_with_zero_budget_is_the_scalar_steal() {
+        let d = SplitDeque::new(16);
+        for i in 1..=4 {
+            d.push_bottom(job(i));
+        }
+        d.expose_all();
+        let mut extras = Vec::new();
+        assert_eq!(d.pop_top_batch(&mut extras, 0), Steal::Ok(job(1)));
+        assert!(extras.is_empty());
+        assert_eq!(d.public_len(), 3);
+    }
+
+    #[test]
+    fn batch_steal_single_public_task_and_empty_outcomes() {
+        let d = SplitDeque::new(16);
+        let mut extras = Vec::new();
+        assert_eq!(d.pop_top_batch(&mut extras, 8), Steal::Empty);
+        d.push_bottom(job(1));
+        assert_eq!(d.pop_top_batch(&mut extras, 8), Steal::PrivateWork);
+        d.update_public_bottom(ExposurePolicy::One);
+        assert_eq!(d.pop_top_batch(&mut extras, 8), Steal::Ok(job(1)));
+        assert!(extras.is_empty(), "a lone public task never batches");
+        assert_eq!(d.pop_bottom(PopBottomMode::Standard), None);
+    }
+
+    #[test]
+    fn batch_steal_across_index_wrap() {
+        let d = SplitDeque::new(4);
+        d.set_start_index(u32::MAX - 2);
+        for i in 1..=8 {
+            d.push_bottom(job(i));
+        }
+        assert_eq!(d.expose_all(), 8);
+        // The take range [top, top+4) straddles the u32 boundary.
+        let mut extras = Vec::new();
+        assert_eq!(d.pop_top_batch(&mut extras, 8), Steal::Ok(job(1)));
+        assert_eq!(extras, vec![job(2), job(3), job(4)]);
+        assert_eq!(d.public_len(), 4);
+        for i in 5..=8 {
+            assert_eq!(d.pop_public_bottom(), Some(job(8 + 5 - i)));
+        }
+    }
+
+    #[test]
+    fn batch_steal_caps_at_steal_batch_max() {
+        let d = SplitDeque::new(64);
+        for i in 1..=60 {
+            d.push_bottom(job(i));
+        }
+        assert_eq!(d.expose_all(), 60);
+        // ⌈60/2⌉ = 30 > STEAL_BATCH_MAX: the take is clamped to 16 total.
+        let mut extras = Vec::new();
+        assert_eq!(d.pop_top_batch(&mut extras, usize::MAX), Steal::Ok(job(1)));
+        assert_eq!(extras.len(), STEAL_BATCH_MAX - 1);
+        assert_eq!(d.public_len(), 60 - STEAL_BATCH_MAX as u32);
+    }
+
+    #[test]
     fn steal_race_on_last_public_task_has_single_winner() {
         // Owner and a simulated thief race for the single public task; the
         // CAS protocol must hand it to exactly one of them.
@@ -786,7 +972,10 @@ mod tests {
         d.reset_for_respawn();
         let (bot, pb, age) = d.raw_state();
         assert_eq!((bot, pb, age.top), (0, 0, 0));
-        assert!(age.tag > tag_before, "respawn reset must open a new tag era");
+        assert!(
+            age.tag > tag_before,
+            "respawn reset must open a new tag era"
+        );
         // The slot is fully reusable by the replacement owner.
         d.push_bottom(job(3));
         assert_eq!(d.pop_bottom(PopBottomMode::Standard), Some(job(3)));

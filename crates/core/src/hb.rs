@@ -327,7 +327,14 @@ mod imp {
             a.tid == tid || self.threads[tid].get(a.tid) >= a.epoch
         }
 
-        fn file(&mut self, kind: &str, prior: &Access, tid: usize, site: &'static str, addr: usize) {
+        fn file(
+            &mut self,
+            kind: &str,
+            prior: &Access,
+            tid: usize,
+            site: &'static str,
+            addr: usize,
+        ) {
             let key = (prior.site, site);
             if self.seen_pairs.contains_key(&key) || self.reports.len() >= MAX_REPORTS {
                 return;
@@ -519,18 +526,17 @@ mod imp {
     pub(crate) fn on_write(addr: usize, site: &'static str) {
         with(|ck, tid| {
             ck.bump_epoch(tid);
-            let (racy_write, racy_reads): (Option<Access>, Vec<Access>) =
-                match ck.data.get(&addr) {
-                    Some(st) => (
-                        st.write.as_ref().filter(|w| !ck.ordered(w, tid)).copied(),
-                        st.reads
-                            .iter()
-                            .filter(|r| !ck.ordered(r, tid))
-                            .copied()
-                            .collect(),
-                    ),
-                    None => (None, Vec::new()),
-                };
+            let (racy_write, racy_reads): (Option<Access>, Vec<Access>) = match ck.data.get(&addr) {
+                Some(st) => (
+                    st.write.as_ref().filter(|w| !ck.ordered(w, tid)).copied(),
+                    st.reads
+                        .iter()
+                        .filter(|r| !ck.ordered(r, tid))
+                        .copied()
+                        .collect(),
+                ),
+                None => (None, Vec::new()),
+            };
             if let Some(w) = racy_write {
                 ck.file("write/write", &w, tid, site, addr);
             }
@@ -650,15 +656,15 @@ mod imp {
 }
 
 #[cfg(feature = "hb")]
-pub use imp::{report_count, reset, take_reports};
-#[cfg(feature = "hb")]
-pub(crate) use imp::{
-    atomic_cas, atomic_load, atomic_rmw, atomic_store, commit_read, fence_seq_cst, fork_token,
-    forget_range, join_token, lock_acquired, lock_releasing, on_read, on_write, speculative_read,
-};
-#[cfg(feature = "hb")]
 #[allow(unused_imports)]
 pub(crate) use imp::PendingRead;
+#[cfg(feature = "hb")]
+pub(crate) use imp::{
+    atomic_cas, atomic_load, atomic_rmw, atomic_store, commit_read, fence_seq_cst, forget_range,
+    fork_token, join_token, lock_acquired, lock_releasing, on_read, on_write, speculative_read,
+};
+#[cfg(feature = "hb")]
+pub use imp::{report_count, reset, take_reports};
 
 #[cfg(not(feature = "hb"))]
 mod stub {
@@ -734,16 +740,16 @@ mod stub {
 }
 
 #[cfg(not(feature = "hb"))]
-pub use stub::{report_count, reset, take_reports};
+#[allow(unused_imports)]
+pub(crate) use stub::PendingRead;
 #[cfg(not(feature = "hb"))]
 #[allow(unused_imports)]
 pub(crate) use stub::{
-    atomic_cas, atomic_load, atomic_rmw, atomic_store, commit_read, fence_seq_cst, fork_token,
-    forget_range, join_token, lock_acquired, lock_releasing, on_read, on_write, speculative_read,
+    atomic_cas, atomic_load, atomic_rmw, atomic_store, commit_read, fence_seq_cst, forget_range,
+    fork_token, join_token, lock_acquired, lock_releasing, on_read, on_write, speculative_read,
 };
 #[cfg(not(feature = "hb"))]
-#[allow(unused_imports)]
-pub(crate) use stub::PendingRead;
+pub use stub::{report_count, reset, take_reports};
 
 /// Shim atomics for the scheduler files outside the deque protocols
 /// (`pool`, `sleep`, `injector`, `job`, `signal`, `trace`): drop-in
@@ -925,7 +931,9 @@ pub(crate) mod shim {
 /// the shim threading (TypeId-asserted below).
 #[cfg(not(all(feature = "hb", not(feature = "model"))))]
 pub(crate) mod shim {
-    pub use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize};
+    pub use std::sync::atomic::{
+        AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+    };
 }
 
 #[cfg(test)]
@@ -963,9 +971,15 @@ mod tests {
         // struct layouts (CachePadded fields, Job headers) are unchanged.
         use std::mem::{align_of, size_of};
         assert_eq!(size_of::<super::shim::AtomicU64>(), size_of::<u64>());
-        assert_eq!(align_of::<super::shim::AtomicU64>(), align_of::<std::sync::atomic::AtomicU64>());
+        assert_eq!(
+            align_of::<super::shim::AtomicU64>(),
+            align_of::<std::sync::atomic::AtomicU64>()
+        );
         assert_eq!(size_of::<super::shim::AtomicBool>(), size_of::<bool>());
-        assert_eq!(size_of::<super::shim::AtomicPtr<u8>>(), size_of::<*mut u8>());
+        assert_eq!(
+            size_of::<super::shim::AtomicPtr<u8>>(),
+            size_of::<*mut u8>()
+        );
     }
 
     /// Negative-test harness: seeded broken orderings the checker MUST
@@ -1048,8 +1062,10 @@ mod tests {
             hb::negative::set_broken_grow_publish(true);
             let broken = grow_then_steal();
             assert!(
-                broken.iter().any(|r| r.contains("ring slot (grow copy)")
-                    && r.contains("split slot (pop_top)")),
+                broken
+                    .iter()
+                    .any(|r| r.contains("ring slot (grow copy)")
+                        && r.contains("split slot (pop_top)")),
                 "Relaxed grow publish must be reported naming both sites, got:\n{}",
                 broken.join("\n")
             );

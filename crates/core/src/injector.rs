@@ -55,8 +55,8 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use crate::fault::{self, Site};
-use crate::hb::{self, shim::AtomicPtr, shim::AtomicU8, shim::AtomicUsize};
-use crate::job::Job;
+use crate::hb::{self, shim::AtomicPtr, shim::AtomicU32, shim::AtomicU8, shim::AtomicUsize};
+use crate::job::{Job, NO_WAITER};
 
 /// How many tasks a worker takes from the injector per visit: the first
 /// runs immediately, the rest go into the worker's own deque. Amortizes the
@@ -229,6 +229,13 @@ pub(crate) struct TaskState<T> {
     status: AtomicU8,
     sync: Mutex<()>,
     cv: Condvar,
+    /// Index of a **pool-worker** joiner parked in its sleeper slot, or
+    /// [`NO_WAITER`]. The condvar handshake above only serves *external*
+    /// joiners; a worker-side `join` helps run tasks and parks in the
+    /// pool's sleeper when nothing is runnable, so completion must route a
+    /// targeted `wake_worker` or the joiner idles on the 50ms backstop.
+    /// Same Dekker-style SeqCst pairing as [`crate::job::Job::waiter`].
+    pub(crate) waiter: AtomicU32,
     /// Written once by the completer (before the `DONE` swap releases it),
     /// taken once by the joiner (after acquiring `DONE`).
     result: UnsafeCell<Option<TaskResult<T>>>,
@@ -245,12 +252,20 @@ impl<T> TaskState<T> {
             status: AtomicU8::new(PENDING),
             sync: Mutex::new(()),
             cv: Condvar::new(),
+            waiter: AtomicU32::new(NO_WAITER),
             result: UnsafeCell::new(None),
         }
     }
 
     /// Completer side: publish the result and wake a blocked joiner.
     pub(crate) fn complete(&self, result: TaskResult<T>) {
+        // Dekker pairing with the worker-side joiner (mirrors
+        // `Job::mark_done`): load `waiter` SeqCst *before* publishing DONE.
+        // A joiner that registered before this load gets a targeted wake; a
+        // joiner that registers after it observes DONE on its pre-park
+        // recheck (the registration store and the recheck load are both
+        // SeqCst, so at least one side always sees the other).
+        let waiter = self.waiter.load(Ordering::SeqCst);
         // Safety: exactly one completer (the task runs once), and no reader
         // touches the slot until `DONE` is visible.
         hb::on_write(self.result.get() as usize, "TaskState::result (complete)");
@@ -263,6 +278,7 @@ impl<T> TaskState<T> {
             let _g = self.sync.lock();
             self.cv.notify_all();
         }
+        crate::worker::wake_waiter(waiter);
     }
 
     #[inline]
@@ -294,8 +310,13 @@ impl<T> TaskState<T> {
     /// # Safety
     /// At most once, only after `is_done()` returned true.
     unsafe fn take_result(&self) -> TaskResult<T> {
-        hb::on_read(self.result.get() as usize, "TaskState::result (take_result)");
-        (*self.result.get()).take().expect("task result taken twice")
+        hb::on_read(
+            self.result.get() as usize,
+            "TaskState::result (take_result)",
+        );
+        (*self.result.get())
+            .take()
+            .expect("task result taken twice")
     }
 }
 
@@ -332,12 +353,17 @@ impl<T: Send> JoinHandle<T> {
         if ctx.is_null() {
             self.state.block_until_done();
         } else {
-            // Worker thread: helping loop. The completion wake is useless
-            // here (we must keep scheduling to make progress), so run
-            // local/stolen/injector work until the state flips.
+            // Worker thread: helping loop. The condvar wake is useless here
+            // (we must keep scheduling to make progress), so run
+            // local/stolen/injector work until the state flips — and when
+            // even that runs dry, register in `state.waiter` so the
+            // completer's `wake_worker` ends the park immediately instead
+            // of the 1ms poll backstop burning spurious wakes.
             // Safety: installed ctx pointers outlive the call on this
             // thread (CtxGuard discipline).
-            unsafe { crate::worker::help_until(&*ctx, || self.state.is_done()) };
+            unsafe {
+                crate::worker::help_until(&*ctx, || self.state.is_done(), Some(&self.state.waiter))
+            };
         }
         // Safety: DONE observed; sole consumer (join takes self).
         match unsafe { self.state.take_result() } {

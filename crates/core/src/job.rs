@@ -250,7 +250,10 @@ where
         // Reclaim the box; the closure runs (and is dropped) before the
         // allocation is freed at the end of this scope.
         let mut this = Box::from_raw(ptr as *mut HeapJob<F>);
-        hb::on_read(&this.func as *const _ as usize, "HeapJob::func (run_erased)");
+        hb::on_read(
+            &this.func as *const _ as usize,
+            "HeapJob::func (run_erased)",
+        );
         let func = this.func.take().expect("HeapJob executed twice");
         // Scope-level panic bookkeeping is handled inside `func` itself
         // (see `scope`); an unwind past this frame would abort, so `func`
@@ -259,7 +262,10 @@ where
         let waiter = this.job.mark_done();
         // The allocation dies here; drop the checker's state for it so a
         // later job reusing the address is not misread as racing this one.
-        hb::forget_range(&*this as *const _ as usize, std::mem::size_of::<HeapJob<F>>());
+        hb::forget_range(
+            &*this as *const _ as usize,
+            std::mem::size_of::<HeapJob<F>>(),
+        );
         drop(this);
         crate::worker::wake_waiter(waiter);
     }

@@ -71,6 +71,7 @@ pub mod hb;
 mod injector;
 mod job;
 pub mod model;
+mod policy;
 mod pool;
 mod signal;
 mod sleep;
@@ -85,6 +86,7 @@ pub use api::{
 pub use deque::{double2int, ExposurePolicy, PopBottomMode, SplitDeque};
 pub use injector::JoinHandle;
 pub use job::Job;
+pub use policy::{DequeKind, NotifyChannel, Policies, PolicyError, StealAmount, VictimSelection};
 pub use pool::{PoolBuilder, ThreadPool};
 pub use signal::EXPOSE_SIGNAL;
 pub use sleep::IdlePolicy;

@@ -34,6 +34,7 @@ use crate::deque::{AbpDeque, SplitDeque, DEFAULT_DEQUE_CAPACITY};
 use crate::hb::{self, shim::AtomicBool, shim::AtomicU64, shim::AtomicUsize};
 use crate::injector::{Injector, JoinHandle, TaskState};
 use crate::job::{HeapJob, Job};
+use crate::policy::Policies;
 use crate::signal;
 use crate::sleep::{IdlePolicy, Sleep};
 #[cfg(feature = "trace")]
@@ -118,12 +119,12 @@ pub(crate) struct WorkerShared {
 
 impl WorkerShared {
     fn new(
-        variant: Variant,
+        policies: &Policies,
         capacity: usize,
         #[cfg(feature = "trace")] index: usize,
         #[cfg(feature = "trace")] trace_capacity: usize,
     ) -> WorkerShared {
-        let deque = if variant.uses_split_deque() {
+        let deque = if policies.uses_split_deque() {
             AnyDeque::Split(SplitDeque::new(capacity))
         } else {
             AnyDeque::Abp(AbpDeque::new(capacity))
@@ -144,6 +145,10 @@ impl WorkerShared {
 /// State shared between the pool handle and its worker threads.
 pub(crate) struct PoolInner {
     pub(crate) variant: Variant,
+    /// The resolved policy bundle every worker consults. Equal to
+    /// `variant.policies()` unless [`PoolBuilder::policies`] overrode it;
+    /// `variant` stays as the display/compatibility label.
+    pub(crate) policies: Policies,
     pub(crate) workers: Box<[WorkerShared]>,
     pub(crate) collector: Arc<Collector>,
     /// Sleeper subsystem for idle workers (spin → yield → park).
@@ -216,9 +221,13 @@ impl PoolInner {
 #[derive(Debug, Clone)]
 pub struct PoolBuilder {
     variant: Variant,
+    /// Explicit policy-bundle override; `None` means "the variant's own
+    /// composition".
+    policies: Option<Policies>,
     threads: Option<usize>,
     deque_capacity: usize,
-    idle: IdlePolicy,
+    /// Explicit idle-policy override; `None` defers to the bundle's choice.
+    idle: Option<IdlePolicy>,
     stall_timeout: Option<Duration>,
     #[cfg(feature = "trace")]
     trace_capacity: usize,
@@ -229,13 +238,26 @@ impl PoolBuilder {
     pub fn new(variant: Variant) -> PoolBuilder {
         PoolBuilder {
             variant,
+            policies: None,
             threads: None,
             deque_capacity: DEFAULT_DEQUE_CAPACITY,
-            idle: IdlePolicy::default(),
+            idle: None,
             stall_timeout: None,
             #[cfg(feature = "trace")]
             trace_capacity: trace::DEFAULT_TRACE_CAPACITY,
         }
+    }
+
+    /// Override the full policy bundle the workers run with (see
+    /// [`crate::Policies`]). Without this, the pool runs the variant's own
+    /// composition — `PoolBuilder::new(v)` and
+    /// `PoolBuilder::new(v).policies(v.policies())` build identical pools.
+    /// The variant remains the pool's label (thread names, CSV rows).
+    ///
+    /// `build` panics on a bundle [`crate::Policies::validate`] rejects.
+    pub fn policies(mut self, policies: Policies) -> PoolBuilder {
+        self.policies = Some(policies);
+        self
     }
 
     /// Total number of workers, including the caller of `run` (≥ 1).
@@ -259,7 +281,7 @@ impl PoolBuilder {
     /// fully-escalated idlers; [`IdlePolicy::SpinOnly`] reproduces the
     /// old always-runnable busy-wait for idle-cost comparisons.
     pub fn idle_policy(mut self, idle: IdlePolicy) -> PoolBuilder {
-        self.idle = idle;
+        self.idle = Some(idle);
         self
     }
 
@@ -295,23 +317,34 @@ impl PoolBuilder {
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
-        if self.variant.uses_signals() {
+        // Resolve the policy bundle: explicit override, else the variant's
+        // composition; the idle override folds in so workers consult one
+        // place. An unsound bundle never reaches a worker.
+        let mut policies = self.policies.unwrap_or_else(|| self.variant.policies());
+        if let Some(idle) = self.idle {
+            policies.idle = idle;
+        }
+        if let Err(e) = policies.validate() {
+            panic!("invalid policy bundle for {} pool: {e}", self.variant);
+        }
+        if policies.uses_signals() {
             signal::install_handler();
         }
         #[cfg(not(feature = "trace"))]
         let workers = (0..threads)
-            .map(|_| WorkerShared::new(self.variant, self.deque_capacity))
+            .map(|_| WorkerShared::new(&policies, self.deque_capacity))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         #[cfg(feature = "trace")]
         let workers = (0..threads)
-            .map(|i| WorkerShared::new(self.variant, self.deque_capacity, i, self.trace_capacity))
+            .map(|i| WorkerShared::new(&policies, self.deque_capacity, i, self.trace_capacity))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         let inner = Arc::new(PoolInner {
             variant: self.variant,
+            policies,
             sleep: Sleep::new(threads),
-            idle: self.idle,
+            idle: policies.idle,
             injector: Injector::new(),
             outstanding: AtomicUsize::new(0),
             serving: AtomicBool::new(false),
@@ -793,7 +826,8 @@ impl ThreadPool {
                 pool.sleep.wake_one();
             }
             Err(()) => {
-                pool.collector.add(Counter::OverflowInline, jobs.len() as u64);
+                pool.collector
+                    .add(Counter::OverflowInline, jobs.len() as u64);
                 for &job in jobs {
                     // Safety: rejected batch, sole ownership retained.
                     unsafe { Job::execute(job) };
@@ -977,8 +1011,8 @@ impl ThreadPool {
             // lock), so it first participates in the next opened run.
             let seen0 = pool.epoch.load(Ordering::Acquire);
             let worker_inner = Arc::clone(&self.inner);
-            let builder = std::thread::Builder::new()
-                .name(format!("lcws-{}-{index}", pool.variant.name()));
+            let builder =
+                std::thread::Builder::new().name(format!("lcws-{}-{index}", pool.variant.name()));
             let spawned = if crate::fault::fail_at(crate::fault::Site::ThreadSpawn) {
                 Err(std::io::Error::new(
                     std::io::ErrorKind::WouldBlock,
@@ -1406,6 +1440,45 @@ mod tests {
             assert_eq!(pool.run(move || i), i);
         }
         assert_eq!(pool.stall_reports(), 0);
+    }
+
+    /// Regression: `try_injector` used to fire one `sleep.wake_one()` per
+    /// re-queued tail task through `try_push_job` — 3 redundant wake
+    /// attempts per `INJECTOR_BATCH = 4` drain. The tail becomes visible
+    /// together, so one coalesced wake after the loop suffices.
+    #[test]
+    fn injector_drain_coalesces_tail_wakes_into_one() {
+        let pool = PoolBuilder::new(Variant::Ws).threads(1).build();
+        for _ in 0..crate::injector::INJECTOR_BATCH {
+            pool.inner
+                .injector
+                .push(HeapJob::push_new(|| {}))
+                .expect("no fault plan installed");
+        }
+        let ctx = WorkerCtx::new(&pool.inner, 0);
+        let _guard = ctx.install();
+        lcws_metrics::reset_local();
+        assert!(ctx.try_injector(), "a queued batch must be drained");
+        let c = Collector::new();
+        lcws_metrics::flush_into(&c);
+        let snap = c.snapshot();
+        assert_eq!(
+            snap.injector_pops(),
+            crate::injector::INJECTOR_BATCH as u64,
+            "the whole batch is taken in one visit"
+        );
+        assert_eq!(
+            snap.wake_attempts(),
+            1,
+            "one coalesced wake for the re-queued tail, not one per task"
+        );
+        // Drain the re-queued tail so the heap jobs are freed.
+        let mut drained = 0;
+        while let Some(job) = ctx.acquire_local() {
+            ctx.execute(job);
+            drained += 1;
+        }
+        assert_eq!(drained, crate::injector::INJECTOR_BATCH - 1);
     }
 
     /// Regression: a thief that catches a victim slot before its worker

@@ -313,6 +313,10 @@ impl Sleep {
     /// window costs at most one [`PARK_TIMEOUT`], absorbed by the timed
     /// park.
     pub(crate) fn wake_one(&self) {
+        // Counted before the empty-set gate: redundant notifications (e.g.
+        // one per task of a drained injector batch) are exactly what the
+        // counter exists to expose.
+        metrics::bump(Counter::WakeAttempt);
         if !self.has_sleepers() {
             return;
         }
@@ -340,6 +344,7 @@ impl Sleep {
     /// ordered before this call) is visible to the waiter's recheck — the
     /// park aborts without needing us.
     pub(crate) fn wake_worker(&self, index: usize) {
+        metrics::bump(Counter::WakeAttempt);
         let (word, bit) = (index / 64, 1u64 << (index % 64));
         if self.mask[word].load(Ordering::SeqCst) & bit == 0 {
             return;
@@ -350,6 +355,7 @@ impl Sleep {
 
     /// Wake every sleeper (run close, teardown).
     pub(crate) fn wake_all(&self) {
+        metrics::bump(Counter::WakeAttempt);
         self.epoch.fetch_add(1, Ordering::SeqCst);
         for (w, word) in self.mask.iter().enumerate() {
             let mut bits = word.load(Ordering::SeqCst);

@@ -130,6 +130,10 @@ pub enum EventKind {
     /// A worker's between-steals injector fallback took a batch (payload =
     /// number of jobs taken in the batch).
     InjectorPop = 22,
+    /// A thief's batch steal transferred more than one task with a single
+    /// validating CAS (steal-half policy; payload = total tasks taken,
+    /// including the one the steal returned directly).
+    StealBatch = 23,
 }
 
 impl EventKind {
@@ -159,6 +163,7 @@ impl EventKind {
             EventKind::WorkerRespawn => "worker_respawn",
             EventKind::Inject => "inject",
             EventKind::InjectorPop => "injector_pop",
+            EventKind::StealBatch => "steal_batch",
         }
     }
 
@@ -189,6 +194,7 @@ impl EventKind {
             20 => EventKind::WorkerRespawn,
             21 => EventKind::Inject,
             22 => EventKind::InjectorPop,
+            23 => EventKind::StealBatch,
             _ => return None,
         })
     }

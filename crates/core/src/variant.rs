@@ -69,15 +69,12 @@ impl Variant {
 
     /// Does this scheduler use split deques (any LCWS variant)?
     pub fn uses_split_deque(self) -> bool {
-        !matches!(self, Variant::Ws)
+        self.policies().uses_split_deque()
     }
 
     /// Does this scheduler notify victims with POSIX signals?
     pub fn uses_signals(self) -> bool {
-        matches!(
-            self,
-            Variant::Signal | Variant::SignalConservative | Variant::SignalHalf
-        )
+        self.policies().uses_signals()
     }
 
     /// Does this scheduler poll the user-space `fallback_expose` flag at
@@ -88,30 +85,23 @@ impl Variant {
     /// itself already polls `targeted` and never sends signals; WS has no
     /// exposure at all.
     pub fn polls_fallback_flag(self) -> bool {
-        self.uses_signals()
+        self.policies().polls_fallback_flag()
     }
 
-    /// Which `pop_bottom` flavour the owner must use (§4's subtlety).
+    /// Which `pop_bottom` flavour the owner must use (§4's subtlety):
+    /// USLCWS never exposes asynchronously and Conservative exposure
+    /// provably never publishes the bottom-most task, so both keep the
+    /// original comparison; the base signal scheduler and Expose Half may
+    /// expose the task the owner is popping, so they need
+    /// decrement-then-compare. The choice lives in the variant's policy
+    /// bundle (`crate::Policies`).
     pub fn pop_bottom_mode(self) -> PopBottomMode {
-        match self {
-            // USLCWS never exposes asynchronously; Conservative exposure
-            // provably never publishes the bottom-most task. Both keep the
-            // original comparison.
-            Variant::Ws | Variant::UsLcws | Variant::SignalConservative => PopBottomMode::Standard,
-            // The base signal scheduler and Expose Half may expose the task
-            // the owner is popping, so they need decrement-then-compare.
-            Variant::Signal | Variant::SignalHalf => PopBottomMode::SignalSafe,
-        }
+        self.policies().pop_bottom
     }
 
     /// How much work an exposure request transfers to the public part.
     pub fn exposure_policy(self) -> ExposurePolicy {
-        match self {
-            Variant::Ws => ExposurePolicy::One, // unused
-            Variant::UsLcws | Variant::Signal => ExposurePolicy::One,
-            Variant::SignalConservative => ExposurePolicy::Conservative,
-            Variant::SignalHalf => ExposurePolicy::Half,
-        }
+        self.policies().exposure
     }
 }
 

@@ -10,15 +10,16 @@ use std::sync::atomic::Ordering;
 use lcws_metrics as metrics;
 use lcws_metrics::Counter;
 
-use crate::deque::{DequeFull, Steal};
+use crate::deque::{AbpSteal, DequeFull, SplitDeque, Steal, STEAL_BATCH_MAX};
 use crate::fault::{self, Site};
+use crate::hb::shim::AtomicU32;
 use crate::injector::INJECTOR_BATCH;
 use crate::job::{Job, StackJob, NO_WAITER};
+use crate::policy::{NotifyChannel, Policies, StealAmount, VictimSelection};
 use crate::pool::{AnyDeque, PoolInner, WorkerShared};
 use crate::signal::{self, HandlerCtx};
 use crate::sleep::{IdleAction, IdleBackoff, WAITER_PARK_TIMEOUT};
 use crate::trace;
-use crate::variant::Variant;
 
 thread_local! {
     /// The worker context of the current thread, when it participates in a
@@ -68,10 +69,16 @@ pub(crate) fn wake_waiter(index: u32) {
 /// Run scheduling work on `ctx`'s worker until `done` reports true. Used
 /// by `JoinHandle::join` on worker threads: blocking a worker on a condvar
 /// could deadlock the very pool that must run the joined task, so the
-/// joiner keeps executing local, stolen, and injector work instead. The
-/// spawned task's completion wake targets external joiners only, so the
-/// park arm here relies on the eventcount recheck plus the timed backstop.
-pub(crate) fn help_until(ctx: &WorkerCtx, done: impl Fn() -> bool) {
+/// joiner keeps executing local, stolen, and injector work instead.
+///
+/// `waiter` is the completion-wake registration slot of whatever `done`
+/// observes (e.g. `TaskState::waiter`): before parking, the worker
+/// registers its index there so the completer can deliver a targeted wake
+/// through `wake_waiter`, exactly like `await_job` registers in
+/// `Job::waiter` — without it the park arm is pure 1ms-backstop polling.
+/// `None` keeps the plain eventcount-recheck park for callers with no
+/// registration slot.
+pub(crate) fn help_until(ctx: &WorkerCtx, done: impl Fn() -> bool, waiter: Option<&AtomicU32>) {
     let mut backoff = IdleBackoff::new(ctx.pool().idle);
     loop {
         if done() {
@@ -99,10 +106,24 @@ pub(crate) fn help_until(ctx: &WorkerCtx, done: impl Fn() -> bool) {
                 }
                 metrics::bump(Counter::IdleIter);
                 match backoff.next() {
-                    IdleAction::Park => ctx
-                        .pool()
-                        .sleep
-                        .park(ctx.index, || done() || ctx.any_work_visible()),
+                    IdleAction::Park => match waiter {
+                        Some(w) => {
+                            // Same SeqCst register / longer-backstop park /
+                            // withdraw protocol as `await_job`; see
+                            // `crate::sleep` for the pairing argument.
+                            w.store(ctx.index as u32, Ordering::SeqCst);
+                            ctx.pool().sleep.park_with_backstop(
+                                ctx.index,
+                                WAITER_PARK_TIMEOUT,
+                                || done() || ctx.any_work_visible(),
+                            );
+                            w.store(NO_WAITER, Ordering::SeqCst);
+                        }
+                        None => ctx
+                            .pool()
+                            .sleep
+                            .park(ctx.index, || done() || ctx.any_work_visible()),
+                    },
                     action => IdleBackoff::relax(action),
                 }
             }
@@ -116,8 +137,13 @@ pub(crate) struct WorkerCtx {
     pool: *const PoolInner,
     index: usize,
     rng: Cell<u64>,
+    /// Near-first probe cursor ([`VictimSelection::NearFirst`]): how many
+    /// consecutive probes the current steal drought has made. Reset on
+    /// every successful steal so the ring restarts at the nearest
+    /// neighbour.
+    probe: Cell<u64>,
     /// Signal-handler context pointing at this worker's split deque; armed
-    /// only for the signal-based variants.
+    /// only for signal-driven policy bundles.
     handler_ctx: HandlerCtx,
 }
 
@@ -136,9 +162,10 @@ impl WorkerCtx {
             pool,
             index,
             rng: Cell::new(z | 1),
+            probe: Cell::new(0),
             handler_ctx: HandlerCtx {
                 deque,
-                policy: pool.variant.exposure_policy(),
+                policy: pool.policies.exposure,
                 wake_pending: &*pool.workers[index].wake_pending as *const _,
             },
         }
@@ -157,8 +184,8 @@ impl WorkerCtx {
     }
 
     #[inline]
-    fn variant(&self) -> Variant {
-        self.pool().variant
+    fn policies(&self) -> &Policies {
+        &self.pool().policies
     }
 
     #[inline]
@@ -181,7 +208,7 @@ impl WorkerCtx {
         unsafe {
             trace::set_ring(&self.shared().trace)
         };
-        if self.variant().uses_signals() {
+        if self.policies().uses_signals() {
             // Safety: `self` outlives the guard, which disarms on drop.
             unsafe { signal::set_handler_ctx(&self.handler_ctx) };
         }
@@ -200,6 +227,31 @@ impl WorkerCtx {
         victim_from_random(z, num_workers, self.index)
     }
 
+    /// The victim for this steal iteration, per the pool's
+    /// [`VictimSelection`] policy. Near-first walks the index ring outward
+    /// from self; once a full ring of probes found nothing it falls back to
+    /// the bias-free uniform draw (one random probe per ring thereafter)
+    /// so a starved neighbourhood cannot capture the thief forever.
+    fn choose_victim(&self, num_workers: usize) -> usize {
+        if self.policies().victim == VictimSelection::NearFirst {
+            let step = self.probe.get();
+            self.probe.set(step.wrapping_add(1));
+            if let Some(v) = victim_near_first(step, num_workers, self.index) {
+                return v;
+            }
+        }
+        self.random_victim(num_workers)
+    }
+
+    /// A steal succeeded: restart the near-first probe ring at the nearest
+    /// neighbour (no-op for the uniform policy).
+    #[inline]
+    fn note_steal_success(&self) {
+        if self.policies().victim == VictimSelection::NearFirst {
+            self.probe.set(0);
+        }
+    }
+
     /// Try to push a job at the bottom of this worker's deque.
     ///
     /// For the signal variants, pushing new work re-enables notifications
@@ -211,20 +263,31 @@ impl WorkerCtx {
     /// owns it; `join` and `scope` degrade to running it inline on this
     /// worker (counted as `OverflowInline`) instead of aborting.
     pub(crate) fn try_push_job(&self, job: *mut Job) -> Result<(), DequeFull> {
+        self.try_push_job_quiet(job)?;
+        // New work is visible: give a parked thief a chance at it (or, for
+        // a split deque, a chance to request its exposure).
+        self.pool().sleep.wake_one();
+        Ok(())
+    }
+
+    /// [`WorkerCtx::try_push_job`] minus the trailing thief wake, for batch
+    /// callers (`try_injector`, the batch-steal surplus requeue) that
+    /// coalesce the whole batch into one `wake_one` — waking a parked
+    /// worker per task just stampedes sleepers at the same deque. The
+    /// handler's deferred wake still drains per push: that one belongs to
+    /// the signal handler, not to this batch.
+    fn try_push_job_quiet(&self, job: *mut Job) -> Result<(), DequeFull> {
         let w = self.shared();
         match &w.deque {
             AnyDeque::Abp(d) => d.try_push_bottom(job)?,
             AnyDeque::Split(d) => {
                 d.try_push_bottom(job)?;
-                if self.variant().uses_signals() && w.targeted.load(Ordering::Relaxed) {
+                if self.policies().uses_signals() && w.targeted.load(Ordering::Relaxed) {
                     w.targeted.store(false, Ordering::Relaxed);
                 }
             }
         }
         self.drain_deferred_wake(w);
-        // New work is visible: give a parked thief a chance at it (or, for
-        // a split deque, a chance to request its exposure).
-        self.pool().sleep.wake_one();
         Ok(())
     }
 
@@ -262,14 +325,23 @@ impl WorkerCtx {
         };
         metrics::bump_by(Counter::InjectorPop, batch.len() as u64);
         trace::record(trace::EventKind::InjectorPop, batch.len() as u32);
+        let mut queued = false;
         for &job in rest {
-            if self.try_push_job(job).is_err() {
+            if self.try_push_job_quiet(job).is_err() {
                 // Forced DequeFull (see `join`): ownership stays with us,
                 // degrade to running the task inline.
                 metrics::bump(Counter::OverflowInline);
                 trace::record(trace::EventKind::OverflowInline, 0);
                 self.execute(job);
+            } else {
+                queued = true;
             }
+        }
+        if queued {
+            // One wake for the whole re-queued tail: the tasks became
+            // visible together, and `INJECTOR_BATCH − 1` wakes for them
+            // would just stampede parked thieves at one deque.
+            self.pool().sleep.wake_one();
         }
         self.execute(first);
         true
@@ -283,31 +355,33 @@ impl WorkerCtx {
         match &w.deque {
             AnyDeque::Abp(d) => d.pop_bottom(),
             AnyDeque::Split(d) => {
-                let variant = self.variant();
+                let policies = self.policies();
                 // Degraded-notification path: a thief whose `pthread_kill`
                 // failed left its steal request in `fallback_expose`; serve
                 // it here at task granularity, exactly like USLCWS serves
                 // `targeted` (constant-time exposure is lost only for the
                 // requests whose signal already failed).
-                if variant.polls_fallback_flag() && w.fallback_expose.load(Ordering::Relaxed) {
+                if policies.polls_fallback_flag() && w.fallback_expose.load(Ordering::Relaxed) {
                     fault::point(Site::TargetedPoll);
                     trace::record(trace::EventKind::TargetedPoll, 1);
                     w.fallback_expose.store(false, Ordering::Relaxed);
                     metrics::bump(Counter::ExposureRequest);
-                    if d.update_public_bottom(variant.exposure_policy()) > 0 {
+                    if d.update_public_bottom(policies.exposure) > 0 {
                         self.pool().sleep.wake_one();
                     }
                 }
-                if let Some(task) = d.pop_bottom(variant.pop_bottom_mode()) {
-                    // USLCWS handles exposure requests here — at task
-                    // granularity, which is exactly why it loses the
-                    // constant-time-exposure guarantee (§3).
-                    if variant == Variant::UsLcws && w.targeted.load(Ordering::Relaxed) {
+                if let Some(task) = d.pop_bottom(policies.pop_bottom) {
+                    // Flag-notified bundles (USLCWS) handle exposure
+                    // requests here — at task granularity, which is exactly
+                    // why they lose the constant-time-exposure guarantee
+                    // (§3).
+                    if policies.notify == NotifyChannel::Flag && w.targeted.load(Ordering::Relaxed)
+                    {
                         fault::point(Site::TargetedPoll);
                         trace::record(trace::EventKind::TargetedPoll, 0);
                         w.targeted.store(false, Ordering::Relaxed);
                         metrics::bump(Counter::ExposureRequest);
-                        if d.update_public_bottom(variant.exposure_policy()) > 0 {
+                        if d.update_public_bottom(policies.exposure) > 0 {
                             // Freshly public work: wake a thief for it.
                             self.pool().sleep.wake_one();
                         }
@@ -325,7 +399,7 @@ impl WorkerCtx {
                     w.targeted.store(false, Ordering::Relaxed);
                     return Some(task);
                 }
-                if variant == Variant::UsLcws {
+                if policies.notify == NotifyChannel::Flag {
                     // Listing 1 line 17.
                     w.targeted.store(false, Ordering::Relaxed);
                 }
@@ -349,63 +423,100 @@ impl WorkerCtx {
         if p <= 1 {
             return StealAttempt::NoWork;
         }
-        let victim_idx = self.random_victim(p);
+        let victim_idx = self.choose_victim(p);
         let victim = &pool.workers[victim_idx];
         match &victim.deque {
             AnyDeque::Abp(d) => match d.pop_top() {
-                Steal::Ok(task) => {
+                AbpSteal::Ok(task) => {
                     trace::record(trace::EventKind::StealOk, victim_idx as u32);
+                    self.note_steal_success();
                     StealAttempt::Taken(task)
                 }
-                Steal::Abort => StealAttempt::Contended,
-                Steal::Empty | Steal::PrivateWork => StealAttempt::NoWork,
+                AbpSteal::Abort => StealAttempt::Contended,
+                AbpSteal::Empty => StealAttempt::NoWork,
             },
-            AnyDeque::Split(d) => match d.pop_top() {
-                Steal::Ok(task) => {
-                    trace::record(trace::EventKind::StealOk, victim_idx as u32);
-                    // Stealing removed a task from the victim's public part:
-                    // future thieves may request exposure again.
-                    victim.targeted.store(false, Ordering::Relaxed);
-                    StealAttempt::Taken(task)
+            AnyDeque::Split(d) => {
+                let outcome = if self.policies().steal == StealAmount::Half {
+                    self.steal_batch(d)
+                } else {
+                    d.pop_top()
+                };
+                match outcome {
+                    Steal::Ok(task) => {
+                        trace::record(trace::EventKind::StealOk, victim_idx as u32);
+                        self.note_steal_success();
+                        // Stealing removed a task from the victim's public
+                        // part: future thieves may request exposure again.
+                        victim.targeted.store(false, Ordering::Relaxed);
+                        StealAttempt::Taken(task)
+                    }
+                    Steal::PrivateWork => {
+                        trace::record(trace::EventKind::StealPrivate, victim_idx as u32);
+                        self.notify_victim(victim_idx, victim, d);
+                        StealAttempt::NoWork
+                    }
+                    Steal::Abort => StealAttempt::Contended,
+                    Steal::Empty => StealAttempt::NoWork,
                 }
-                Steal::PrivateWork => {
-                    trace::record(trace::EventKind::StealPrivate, victim_idx as u32);
-                    self.notify_victim(victim_idx, victim, d);
-                    StealAttempt::NoWork
-                }
-                Steal::Abort => StealAttempt::Contended,
-                Steal::Empty => StealAttempt::NoWork,
-            },
+            }
         }
     }
 
-    /// The per-variant notification rule for a `PRIVATE_WORK` answer.
-    fn notify_victim(
-        &self,
-        victim_idx: usize,
-        victim: &WorkerShared,
-        deque: &crate::deque::SplitDeque,
-    ) {
-        match self.variant() {
+    /// [`StealAmount::Half`]: take up to `⌈public/2⌉` of the victim's
+    /// public tasks with one validating age CAS, keep the oldest as this
+    /// iteration's task, and requeue the surplus into our own deque — where
+    /// the owner pops it synchronization-free and other thieves can
+    /// immediately re-steal it. Requeued oldest-first so our deque keeps
+    /// the global age order (thieves at our top see the oldest first).
+    fn steal_batch(&self, d: &SplitDeque) -> Steal {
+        let mut extras: Vec<*mut Job> = Vec::new();
+        let outcome = d.pop_top_batch(&mut extras, STEAL_BATCH_MAX - 1);
+        if !extras.is_empty() {
+            trace::record(trace::EventKind::StealBatch, (extras.len() + 1) as u32);
+            let mut queued = false;
+            for &job in &extras {
+                if self.try_push_job_quiet(job).is_err() {
+                    // Forced DequeFull: ownership stays with us; degrade to
+                    // running the surplus task inline (see `try_injector`).
+                    metrics::bump(Counter::OverflowInline);
+                    trace::record(trace::EventKind::OverflowInline, 0);
+                    self.execute(job);
+                } else {
+                    queued = true;
+                }
+            }
+            if queued {
+                // One wake for the whole surplus, like the injector batch.
+                self.pool().sleep.wake_one();
+            }
+        }
+        outcome
+    }
+
+    /// The per-policy notification rule for a `PRIVATE_WORK` answer.
+    fn notify_victim(&self, victim_idx: usize, victim: &WorkerShared, deque: &SplitDeque) {
+        let policies = self.policies();
+        match policies.notify {
             // Listing 1 line 22: flag only; the victim polls it.
-            Variant::UsLcws => victim.targeted.store(true, Ordering::Relaxed),
+            NotifyChannel::Flag => victim.targeted.store(true, Ordering::Relaxed),
             // Listing 3 lines 8–11. The plain load-then-store mirrors the
             // paper; a lost race costs one duplicate SIGUSR1, which the OS
-            // coalesces with the pending one.
-            Variant::Signal | Variant::SignalHalf => {
+            // coalesces with the pending one. Conservative Exposure
+            // (§4.1.1) adds `has_two_tasks()` to the condition: the victim
+            // would refuse to expose its last task anyway, so the signal
+            // would be wasted.
+            NotifyChannel::Signal => {
+                if policies.exposure == crate::deque::ExposurePolicy::Conservative
+                    && !deque.has_two_tasks()
+                {
+                    return;
+                }
                 if !victim.targeted.load(Ordering::Relaxed) {
                     victim.targeted.store(true, Ordering::Relaxed);
                     self.signal_or_flag(victim_idx, victim);
                 }
             }
-            // §4.1.1 adds `has_two_tasks()` to the notification condition.
-            Variant::SignalConservative => {
-                if !victim.targeted.load(Ordering::Relaxed) && deque.has_two_tasks() {
-                    victim.targeted.store(true, Ordering::Relaxed);
-                    self.signal_or_flag(victim_idx, victim);
-                }
-            }
-            Variant::Ws => unreachable!("WS uses the ABP deque"),
+            NotifyChannel::None => unreachable!("no-exposure bundles use the ABP deque"),
         }
     }
 
@@ -686,6 +797,23 @@ pub(crate) fn victim_from_random(z: u64, num_workers: usize, self_index: usize) 
     }
 }
 
+/// Near-first probe order ([`VictimSelection::NearFirst`]): probe `step`
+/// of a drought maps to the victim at index distance `step + 1` from self
+/// (mod `num_workers`), so one ring of `num_workers − 1` probes covers
+/// every other worker exactly once, nearest first. Returns `None` once the
+/// ring is exhausted — the caller falls back to the uniform draw, one
+/// random probe per subsequent step, keeping long droughts bias-free.
+#[inline]
+pub(crate) fn victim_near_first(step: u64, num_workers: usize, self_index: usize) -> Option<usize> {
+    debug_assert!(num_workers >= 2 && self_index < num_workers);
+    let phase = step % num_workers as u64;
+    if phase < (num_workers - 1) as u64 {
+        Some((self_index + phase as usize + 1) % num_workers)
+    } else {
+        None
+    }
+}
+
 /// TLS installation guard; restores a clean slate on drop (including during
 /// panics) so stray signals after a run find a disarmed handler.
 pub(crate) struct CtxGuard<'a> {
@@ -694,7 +822,7 @@ pub(crate) struct CtxGuard<'a> {
 
 impl Drop for CtxGuard<'_> {
     fn drop(&mut self) {
-        if self.ctx.variant().uses_signals() {
+        if self.ctx.policies().uses_signals() {
             unsafe { signal::set_handler_ctx(ptr::null()) };
         }
         // Disarm after the handler ctx, mirroring install order.
@@ -708,7 +836,7 @@ impl Drop for CtxGuard<'_> {
 
 #[cfg(test)]
 mod tests {
-    use super::victim_from_random;
+    use super::{victim_from_random, victim_near_first};
 
     /// The xorshift64* step used by `random_victim`, extracted for
     /// distribution testing.
@@ -764,6 +892,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn near_first_ring_covers_every_victim_once_nearest_first() {
+        for num_workers in 2..=8usize {
+            for self_index in 0..num_workers {
+                let mut order = Vec::new();
+                for step in 0..(num_workers - 1) as u64 {
+                    let v = victim_near_first(step, num_workers, self_index)
+                        .expect("ring steps must all yield a victim");
+                    assert!(v < num_workers, "victim out of range");
+                    assert_ne!(v, self_index, "picked self as victim");
+                    // Nearest-first: step k probes index distance k + 1.
+                    assert_eq!(
+                        v,
+                        (self_index + step as usize + 1) % num_workers,
+                        "probe order must walk outward by index distance"
+                    );
+                    order.push(v);
+                }
+                // One full ring covers every other worker exactly once.
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), num_workers - 1, "coverage hole in ring");
+                // The exhausted ring hands over to the uniform fallback.
+                assert_eq!(
+                    victim_near_first((num_workers - 1) as u64, num_workers, self_index),
+                    None,
+                    "ring end must fall back to the uniform draw"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn near_first_degenerates_to_single_neighbour_at_two_workers() {
+        // With two workers the "ring" is the one other worker, then the
+        // fallback slot — from either seat.
+        assert_eq!(victim_near_first(0, 2, 0), Some(1));
+        assert_eq!(victim_near_first(1, 2, 0), None);
+        assert_eq!(victim_near_first(0, 2, 1), Some(0));
+        assert_eq!(victim_near_first(1, 2, 1), None);
+        // Steps past the ring keep cycling ring-then-fallback.
+        assert_eq!(victim_near_first(2, 2, 0), Some(1));
+        assert_eq!(victim_near_first(3, 2, 0), None);
     }
 
     #[test]

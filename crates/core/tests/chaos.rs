@@ -332,7 +332,7 @@ fn forced_push_failures_degrade_to_inline_joins() {
 /// lose nothing and run no task twice, on both deques.
 #[test]
 fn delay_storms_inside_the_resize_window_stay_linearizable() {
-    use lcws_core::deque::{AbpDeque, Steal};
+    use lcws_core::deque::{AbpDeque, AbpSteal, Steal};
     use lcws_core::{ExposurePolicy, PopBottomMode, SplitDeque};
     use std::collections::HashSet;
     use std::sync::atomic::AtomicBool;
@@ -428,11 +428,11 @@ fn delay_storms_inside_the_resize_window_stay_linearizable() {
                 s.spawn(|| {
                     let mut local = Vec::new();
                     while !done.load(Ordering::Acquire) {
-                        if let Steal::Ok(j) = d.pop_top() {
+                        if let AbpSteal::Ok(j) = d.pop_top() {
                             local.push(j as usize);
                         }
                     }
-                    while let Steal::Ok(j) = d.pop_top() {
+                    while let AbpSteal::Ok(j) = d.pop_top() {
                         local.push(j as usize);
                     }
                     taken.lock().unwrap().extend(local);
@@ -593,7 +593,7 @@ fn delayed_worker_spawns_keep_signal_runs_correct() {
 /// invisible in the metrics.)
 #[test]
 fn forced_steal_abort_storm_completes_and_is_counted() {
-    use lcws_core::deque::{AbpDeque, Steal};
+    use lcws_core::deque::{AbpDeque, AbpSteal, Steal};
     use lcws_core::{ExposurePolicy, SplitDeque};
 
     let _g = lock();
@@ -646,9 +646,9 @@ fn forced_steal_abort_storm_completes_and_is_counted() {
         }
         loop {
             match d.pop_top() {
-                Steal::Ok(_) => stolen += 1,
-                Steal::Abort => forced += 1,
-                _ => break,
+                AbpSteal::Ok(_) => stolen += 1,
+                AbpSteal::Abort => forced += 1,
+                AbpSteal::Empty => break,
             }
         }
         assert_eq!(stolen, 24, "the ABP deque drains through the storm too");
@@ -667,6 +667,107 @@ fn forced_steal_abort_storm_completes_and_is_counted() {
         s.steal_attempts(),
         stolen + forced + 2,
         "attempt ledger balances: {s}"
+    );
+    assert!(guard.fires(Site::PopTop) > 0);
+}
+
+/// Batch-steal ledger under a CAS storm: with roughly every third
+/// `pop_top` CAS forced to abort, an Expose Half pool must still run every
+/// task exactly once, and the deterministic deque-level section must
+/// balance the new ledger exactly — tasks migrated = `steals_ok`
+/// (one per successful batch CAS) + `steal_batch_tasks` (the surplus), with
+/// every forced abort landing in `steal_aborts` and no slot delivered
+/// twice.
+#[test]
+fn batch_steal_ledger_balances_under_cas_storm() {
+    use lcws_core::deque::{Steal, STEAL_BATCH_MAX};
+    use lcws_core::{ExposurePolicy, SplitDeque};
+    use std::collections::HashSet;
+
+    let _g = lock();
+    let guard =
+        install(FaultPlan::new(0xBA7C4).with(Site::PopTop, SiteAction::fail_always().one_in(3)));
+
+    // Pool section: the storm hits the batch CAS window of a SignalHalf
+    // run; aborts retry hot, and nothing may be lost or doubled.
+    let (executed, m) = run_with_timeout(60, || {
+        let pool = PoolBuilder::new(Variant::SignalHalf).threads(4).build();
+        let executed = AtomicU64::new(0);
+        let (_, m) = pool.run_measured(|| {
+            scope(|s| {
+                for _ in 0..4_000 {
+                    let executed = &executed;
+                    s.spawn(move || {
+                        executed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        (executed.into_inner(), m)
+    });
+    assert_eq!(executed, 4_000, "batch-steal storm lost or doubled tasks");
+    assert_eq!(
+        m.tasks_run(),
+        4_000,
+        "task accounting drifted under the storm"
+    );
+
+    // Deterministic ledger section: drive `pop_top_batch` directly against
+    // a wholesale-exposed run and balance every counter.
+    let cookie = |v: usize| (v + 1) as *mut lcws_core::Job;
+    lcws_metrics::reset_local();
+    let c = lcws_metrics::Collector::new();
+    const N: usize = 128;
+    let d = SplitDeque::new(2 * N);
+    for i in 0..N {
+        d.push_bottom(cookie(i));
+    }
+    // Expose Half publishes ⌈N/2⌉ = 64 tasks for the storm to fight over.
+    d.update_public_bottom(ExposurePolicy::Half);
+    let (mut batches, mut surplus, mut aborts) = (0u64, 0u64, 0u64);
+    let mut taken = Vec::new();
+    loop {
+        let mut extras = Vec::new();
+        match d.pop_top_batch(&mut extras, STEAL_BATCH_MAX - 1) {
+            Steal::Ok(j) => {
+                batches += 1;
+                surplus += extras.len() as u64;
+                taken.push(j as usize);
+                taken.extend(extras.into_iter().map(|e| e as usize));
+            }
+            Steal::Abort => aborts += 1,
+            Steal::PrivateWork | Steal::Empty => break,
+        }
+    }
+    let set: HashSet<_> = taken.iter().copied().collect();
+    assert_eq!(set.len(), taken.len(), "a slot was delivered twice");
+    assert_eq!(set.len(), N / 2, "the exposed half must drain exactly");
+    assert!(surplus > 0, "⌈public/2⌉ takes must move surplus tasks");
+    assert!(
+        aborts > 0,
+        "one_in(3) over ≥8 batch CASes must force aborts"
+    );
+    lcws_metrics::flush_into(&c);
+    let s = c.snapshot();
+    assert_eq!(
+        s.steals_ok(),
+        batches,
+        "one StealOk per successful batch CAS: {s}"
+    );
+    assert_eq!(
+        s.steal_batch_tasks(),
+        surplus,
+        "surplus ledger drifted: {s}"
+    );
+    assert_eq!(
+        s.steals_ok() + s.steal_batch_tasks(),
+        (N / 2) as u64,
+        "migrated tasks must equal steals_ok + steal_batch_tasks: {s}"
+    );
+    assert_eq!(
+        s.steal_aborts(),
+        aborts,
+        "forced aborts must be counted: {s}"
     );
     assert!(guard.fires(Site::PopTop) > 0);
 }

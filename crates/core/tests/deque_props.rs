@@ -16,7 +16,7 @@
 
 use std::collections::VecDeque;
 
-use lcws_core::deque::{AbpDeque, Steal};
+use lcws_core::deque::{AbpDeque, AbpSteal, Steal};
 use lcws_core::{ExposurePolicy, PopBottomMode, SplitDeque};
 use proptest::prelude::*;
 
@@ -179,8 +179,8 @@ proptest! {
                 Op::StealTop => {
                     let got = deque.pop_top();
                     match model.pop_front() {
-                        Some(t) => prop_assert_eq!(got, Steal::Ok(cookie(t))),
-                        None => prop_assert_eq!(got, Steal::Empty),
+                        Some(t) => prop_assert_eq!(got, AbpSteal::Ok(cookie(t))),
+                        None => prop_assert_eq!(got, AbpSteal::Empty),
                     }
                 }
             }
@@ -258,7 +258,7 @@ proptest! {
         let mut stolen: Vec<usize> = Vec::new();
         for i in 0..total {
             if do_steal && i > 0 && i % steal_stride == 0 {
-                if let Steal::Ok(t) = deque.pop_top() {
+                if let AbpSteal::Ok(t) = deque.pop_top() {
                     stolen.push(t as usize - 1);
                 }
             }

@@ -222,6 +222,41 @@ fn drop_with_open_serve_window_drains() {
     assert_eq!(executed.load(Ordering::Relaxed), 50);
 }
 
+/// Regression (this PR): a worker draining an injector batch re-queues the
+/// tail tasks into its own deque, and used to fire one `wake_one` *per*
+/// re-queued task — a stampede of redundant notifications under external
+/// load. The requeue now coalesces into a single wake per drained batch
+/// (pinned exactly in the pool's unit tests); here the end-to-end wake
+/// budget is asserted through the public counters: at most one wake per
+/// submission plus half a wake per pop (a coalescing batch wake needs at
+/// least two pops behind it), plus a small constant for serve/shutdown
+/// transitions. The per-task-stampede regime blows this bound.
+#[test]
+fn injector_tail_requeue_wakes_are_coalesced() {
+    const TASKS: u64 = 2_000;
+    let pool = ThreadPool::new(Variant::Ws, 4);
+    pool.serve();
+    let executed = Arc::new(AtomicU64::new(0));
+    for _ in 0..TASKS {
+        let executed = Arc::clone(&executed);
+        drop(pool.spawn(move || {
+            executed.fetch_add(1, Ordering::Relaxed);
+        }));
+    }
+    let snap = pool.shutdown();
+    assert_eq!(executed.load(Ordering::Relaxed), TASKS);
+    let pushes = snap.injector_pushes();
+    let pops = snap.injector_pops();
+    assert_eq!(pushes, TASKS);
+    assert_eq!(pops, TASKS);
+    let wakes = snap.wake_attempts();
+    assert!(
+        wakes <= pushes + pops / 2 + 64,
+        "wake stampede: {wakes} wake attempts for {pushes} submissions and \
+         {pops} pops — tail-requeue wakes are not coalesced"
+    );
+}
+
 /// Faultpoint storm on `Site::InjectorPush`: forced push rejections must
 /// degrade to inline execution on the producer — graceful, never lost.
 #[cfg(feature = "faultpoints")]
@@ -230,8 +265,8 @@ fn injector_push_fault_storm_degrades_to_inline() {
     use lcws_core::fault::{self, FaultPlan, Site, SiteAction};
 
     const TASKS: u64 = 2_000;
-    let plan = FaultPlan::new(0x1239_e55)
-        .with(Site::InjectorPush, SiteAction::fail_always().one_in(3));
+    let plan =
+        FaultPlan::new(0x1239_e55).with(Site::InjectorPush, SiteAction::fail_always().one_in(3));
     let guard = fault::install(plan);
     let pool = ThreadPool::new(Variant::Signal, 4);
     pool.serve();

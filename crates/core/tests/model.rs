@@ -22,7 +22,9 @@
 
 use std::sync::Mutex;
 
-use lcws_core::deque::{AbpDeque, ExposurePolicy, PopBottomMode, SplitDeque, Steal};
+use lcws_core::deque::{
+    AbpDeque, AbpSteal, ExposurePolicy, PopBottomMode, SplitDeque, Steal, STEAL_BATCH_MAX,
+};
 use lcws_core::model::{explore, pause, Execution, Options, Report};
 use lcws_core::Job;
 
@@ -154,7 +156,7 @@ fn check_abp(ntasks: usize) -> Report {
                 }
             })
             .thread("thief", || {
-                if let Steal::Ok(t) = d.pop_top() {
+                if let AbpSteal::Ok(t) = d.pop_top() {
                     taken.lock().unwrap().push(uncookie(t));
                 }
             })
@@ -462,7 +464,7 @@ fn abp_resize_vs_thief() {
                 }
             })
             .thread("thief", || {
-                if let Steal::Ok(t) = d.pop_top() {
+                if let AbpSteal::Ok(t) = d.pop_top() {
                     taken.lock().unwrap().push(uncookie(t));
                 }
             })
@@ -629,6 +631,157 @@ fn wrapped_era_half_exposure_race() {
             u32::MAX - 2,
         )
         .assert_exhaustive_pass("wrapped era (SignalSafe + Half, handler)");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch steals (this PR): the multi-slot take's single validating CAS.
+// ---------------------------------------------------------------------------
+
+/// A batch thief racing the owner's SignalSafe pop while a handler exposes
+/// Half — the full Expose Half + StealAmount::Half pairing. The batch
+/// thief's k slot reads are validated by one age CAS (§4's argument
+/// extended to multi-slot takes: the CAS pins `{tag, top}`, and concurrent
+/// exposures only move `public_bot` away from the stolen range); the
+/// explorer must find no interleaving where a slot is delivered twice or
+/// dropped, including handler exposures landing between the batch's slot
+/// reads and its CAS.
+fn check_split_batch(ntasks: usize, start: Option<u32>) -> Report {
+    explore(Options::default(), || {
+        let d = SplitDeque::new(8);
+        if let Some(s) = start {
+            d.set_start_index(s);
+        }
+        for i in 0..ntasks {
+            d.push_bottom(cookie(i));
+        }
+        let taken = Mutex::new(Vec::new());
+        Execution::new()
+            .thread("owner", || {
+                pause();
+                let job = d
+                    .pop_bottom(PopBottomMode::SignalSafe)
+                    .or_else(|| d.pop_public_bottom());
+                if let Some(t) = job {
+                    taken.lock().unwrap().push(uncookie(t));
+                }
+                pause();
+            })
+            .thread("batch-thief", || {
+                let mut extras = Vec::new();
+                if let Steal::Ok(t) = d.pop_top_batch(&mut extras, STEAL_BATCH_MAX - 1) {
+                    let mut g = taken.lock().unwrap();
+                    g.push(uncookie(t));
+                    g.extend(extras.into_iter().map(uncookie));
+                }
+            })
+            .handler_on(0, || {
+                d.update_public_bottom(ExposurePolicy::Half);
+            })
+            .run();
+
+        let mut all = taken.into_inner().unwrap();
+        loop {
+            if let Some(t) = d.pop_bottom(PopBottomMode::SignalSafe) {
+                all.push(uncookie(t));
+            } else if let Some(t) = d.pop_public_bottom() {
+                all.push(uncookie(t));
+            } else {
+                break;
+            }
+        }
+        check_no_loss_no_dup(all, ntasks)?;
+
+        let (bot, public_bot, age) = d.raw_state();
+        if bot != public_bot || public_bot != age.top {
+            return Err(format!(
+                "inconsistent empty state after batch race: bot={bot} \
+                 public_bot={public_bot} top={}",
+                age.top
+            ));
+        }
+        Ok(())
+    })
+}
+
+#[test]
+fn batch_steal_vs_owner_and_handler() {
+    for ntasks in [2, 3] {
+        let report = check_split_batch(ntasks, None);
+        report.assert_exhaustive_pass("batch steal (SignalSafe + Half + batch CAS)");
+        assert!(
+            report.schedules >= 100,
+            "handler injection must multiply the schedule count, got {}",
+            report.schedules
+        );
+    }
+}
+
+/// The same batch race re-anchored just below `u32::MAX`: the batch's
+/// `top.wrapping_add(i)` slot walk and its `with_top_advanced(k)` CAS both
+/// straddle the era boundary. A regression to raw index arithmetic in the
+/// k-computation (`avail` as unsigned difference) or the slot loop shows
+/// up as loss or double-delivery here.
+#[test]
+fn wrapped_era_batch_steal_race() {
+    for ntasks in [2, 3] {
+        check_split_batch(ntasks, Some(u32::MAX - 2))
+            .assert_exhaustive_pass("wrapped era batch steal");
+    }
+}
+
+/// Two thieves — one batch, one scalar — fighting over a pre-exposed run
+/// of tasks, with no owner or handler in the race (their interplay is
+/// covered above; leaving them out keeps the space exhaustively small).
+/// Exactly one CAS can win each slot range: the batch's multi-slot take
+/// and the scalar steal must partition the public region with no slot
+/// delivered twice and none dropped, in every interleaving — including the
+/// one where the scalar CAS lands between the batch's slot reads and its
+/// validating CAS (which must then abort or re-window, never deliver stale
+/// slots).
+#[test]
+fn batch_steal_vs_scalar_steal_single_winner_per_slot() {
+    for ntasks in [2, 3] {
+        let report = explore(Options::default(), || {
+            let d = SplitDeque::new(8);
+            for i in 0..ntasks {
+                d.push_bottom(cookie(i));
+            }
+            // Whole region public: the two thieves race pure steal CASes.
+            d.expose_all();
+            let taken = Mutex::new(Vec::new());
+            Execution::new()
+                .thread("batch-thief", || {
+                    let mut extras = Vec::new();
+                    if let Steal::Ok(t) = d.pop_top_batch(&mut extras, STEAL_BATCH_MAX - 1) {
+                        let mut g = taken.lock().unwrap();
+                        g.push(uncookie(t));
+                        g.extend(extras.into_iter().map(uncookie));
+                    }
+                })
+                .thread("scalar-thief", || {
+                    if let Steal::Ok(t) = d.pop_top() {
+                        taken.lock().unwrap().push(uncookie(t));
+                    }
+                })
+                .run();
+            // Thief-side rescue drain, as after an owner death.
+            let mut all = taken.into_inner().unwrap();
+            loop {
+                match d.pop_top() {
+                    Steal::Ok(t) => all.push(uncookie(t)),
+                    Steal::Abort => continue,
+                    Steal::Empty | Steal::PrivateWork => break,
+                }
+            }
+            check_no_loss_no_dup(all, ntasks)
+        });
+        report.assert_exhaustive_pass("batch CAS vs scalar CAS single winner");
+        assert!(
+            report.schedules >= 10,
+            "expected a real interleaving space, got {}",
+            report.schedules
+        );
     }
 }
 

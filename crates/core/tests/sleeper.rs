@@ -156,6 +156,50 @@ fn join_completion_wake_is_targeted_not_polled() {
     );
 }
 
+/// Regression (this PR's headline bugfix): `JoinHandle::join` from *inside*
+/// a pool worker goes through `help_until`, which used to park under the
+/// plain 1ms backstop with no targeted completion wake — the task's
+/// completer had nowhere to record who was waiting, so a worker joining an
+/// 80ms spawned task burned ~80 spurious backstop expiries polling `done`.
+/// `TaskState` now carries a waiter slot mirroring `Job::waiter` (PR 8):
+/// the joiner registers its index, parks with the lazy 50ms waiter
+/// backstop, and `complete` delivers a targeted `wake_worker`. The
+/// spurious count across the 70ms wait collapses to scheduling noise.
+#[test]
+fn worker_side_handle_join_wake_is_targeted_not_polled() {
+    // threads(3) ⇒ two serve-mode helpers: one to sleep inside the slow
+    // task, one to run the joiner. (With a single helper the two tasks
+    // would serialize and the join would never wait at all.)
+    let pool = std::sync::Arc::new(PoolBuilder::new(Variant::Ws).threads(3).build());
+    pool.serve();
+    // Land the slow task on one helper first, so the joiner task cannot be
+    // batch-popped by the same helper (which would dodge the park while
+    // the *other* helper idles at the short backstop, polluting the
+    // spurious count this test pins).
+    let slow = pool.spawn(|| {
+        std::thread::sleep(Duration::from_millis(80));
+        40u64
+    });
+    std::thread::sleep(Duration::from_millis(10));
+    let h = pool.spawn(move || slow.join() + 2);
+    assert_eq!(h.join(), 42);
+    let snap = pool.shutdown();
+    assert!(
+        snap.parks() > 0,
+        "worker-side joiner never parked while awaiting the spawned task"
+    );
+    assert!(
+        snap.unparks() > 0,
+        "no wake was delivered — TaskState completion wake not wired?"
+    );
+    let spurious = snap.get(Counter::SpuriousWake);
+    assert!(
+        spurious <= 25,
+        "worker-side join still poll-waking: {spurious} spurious wakes across \
+         an 80ms spawned task (the untargeted 1ms-backstop regime produced ~80)"
+    );
+}
+
 /// Parks must not perturb correctness-critical accounting: a run that
 /// parks still executes every task exactly once.
 #[test]

@@ -177,10 +177,10 @@ mod faulted {
             let pool = PoolBuilder::new(Variant::UsLcws).threads(4).build();
             // Round 1: kill exactly one helper.
             {
-                let guard = install(FaultPlan::new(0xDEAD_0001).with(
-                    Site::WorkerLoop,
-                    SiteAction::fail_always().max_fires(1),
-                ));
+                let guard = install(
+                    FaultPlan::new(0xDEAD_0001)
+                        .with(Site::WorkerLoop, SiteAction::fail_always().max_fires(1)),
+                );
                 let result = panic::catch_unwind(AssertUnwindSafe(|| {
                     pool.run(|| {
                         // Big enough that helpers iterate while the run is
@@ -203,10 +203,9 @@ mod faulted {
             // Round 2: healer's respawn is forced to fail — the pool keeps
             // working with the slot dead (excluded from the handshake).
             {
-                let guard = install(FaultPlan::new(0xDEAD_0002).with(
-                    Site::ThreadSpawn,
-                    SiteAction::fail_always(),
-                ));
+                let guard = install(
+                    FaultPlan::new(0xDEAD_0002).with(Site::ThreadSpawn, SiteAction::fail_always()),
+                );
                 assert_eq!(pool.run(|| 40 + 2), 42);
                 assert_eq!(
                     pool.metrics().worker_respawns(),

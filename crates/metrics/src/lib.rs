@@ -132,6 +132,17 @@ pub enum Counter {
     /// `--features hb` is a detected data race (two accesses to a tracked
     /// location unordered by happens-before).
     HbReport = 27,
+    /// **Extra** tasks transferred by a batch steal (`pop_top_batch` under
+    /// the steal-half policy), beyond the one task every successful steal
+    /// returns. A batch that took `k` tasks bumps [`Counter::StealOk`] once
+    /// and this counter by `k - 1`, so total tasks migrated by thieves is
+    /// `steals_ok + steal_batch_tasks` and `steal_batch_tasks > steals_ok`
+    /// proves the average batch moved more than two tasks per CAS.
+    StealBatchTask = 28,
+    /// Producer-side wake attempts: every `wake_one` / `wake_worker` /
+    /// `wake_all` call, counted *before* the has-sleepers fast-path exit, so
+    /// redundant notifications are visible even when nobody was parked.
+    WakeAttempt = 29,
 }
 
 /// All counter kinds, in discriminant order.
@@ -164,10 +175,12 @@ pub const COUNTER_KINDS: [Counter; NUM_COUNTERS] = [
     Counter::InjectorPush,
     Counter::InjectorPop,
     Counter::HbReport,
+    Counter::StealBatchTask,
+    Counter::WakeAttempt,
 ];
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 28;
+pub const NUM_COUNTERS: usize = 30;
 
 impl Counter {
     /// Short, stable name used in CSV headers.
@@ -201,6 +214,8 @@ impl Counter {
             Counter::InjectorPush => "injector_pushes",
             Counter::InjectorPop => "injector_pops",
             Counter::HbReport => "hb_reports",
+            Counter::StealBatchTask => "steal_batch_tasks",
+            Counter::WakeAttempt => "wake_attempts",
         }
     }
 }
@@ -437,6 +452,16 @@ impl Snapshot {
     /// Race reports from the happens-before checker (`hb` feature).
     pub fn hb_reports(&self) -> u64 {
         self.get(Counter::HbReport)
+    }
+
+    /// Extra tasks moved by batch steals beyond the per-steal first task.
+    pub fn steal_batch_tasks(&self) -> u64 {
+        self.get(Counter::StealBatchTask)
+    }
+
+    /// Producer-side wake attempts (before the has-sleepers fast path).
+    pub fn wake_attempts(&self) -> u64 {
+        self.get(Counter::WakeAttempt)
     }
 
     /// Failed notifications rerouted through the `targeted`-flag fallback.

@@ -18,8 +18,9 @@
 
 pub use lcws_core::{
     default_grain, in_pool, join, num_workers, par_for, par_for_grain, scope, worker_index,
-    Counter, ExposurePolicy, ParseVariantError, PoolBuilder, PopBottomMode, Scope, Snapshot,
-    SplitDeque, ThreadPool, Variant,
+    Counter, DequeKind, ExposurePolicy, IdlePolicy, NotifyChannel, ParseVariantError, Policies,
+    PolicyError, PoolBuilder, PopBottomMode, Scope, Snapshot, SplitDeque, StealAmount, ThreadPool,
+    Variant, VictimSelection,
 };
 
 /// The Parlay-style parallel algorithms toolkit (see `parlay-rs`).

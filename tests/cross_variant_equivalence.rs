@@ -3,7 +3,7 @@
 //! that lets the paper compare schedulers on timing alone.
 
 use lcws::pbbs::registry::all_instances;
-use lcws::{PoolBuilder, Variant};
+use lcws::{Policies, PoolBuilder, StealAmount, Variant, VictimSelection};
 
 fn tiny_scale() {
     std::env::set_var("LCWS_SCALE", "0.01");
@@ -47,6 +47,57 @@ fn checksums_agree_across_variants_and_thread_counts() {
                 }
             }
         }
+    }
+}
+
+/// The policy layer must preserve the equivalence property: pools built
+/// from a variant's explicit policy bundle, and pools running the new open
+/// axes (near-first victims, steal-half batches), must reproduce the exact
+/// checksums of the plain variant pools — scheduling policy may move work,
+/// never change answers.
+#[test]
+fn checksums_agree_across_policy_compositions() {
+    tiny_scale();
+    let wanted = [
+        "integerSort/randomSeq_int",
+        "breadthFirstSearch/rMatGraph",
+        "convexHull/2DinSphere",
+    ];
+    for inst in all_instances()
+        .iter()
+        .filter(|i| wanted.contains(&i.label().as_str()))
+    {
+        let prepared = inst.prepare();
+        let mut reference: Option<u64> = None;
+        let mut check = |label: &str, variant: Variant, policies: Policies| {
+            let pool = PoolBuilder::new(variant)
+                .policies(policies)
+                .threads(3)
+                .build();
+            let outcome = pool.run(|| prepared.run_parallel());
+            match reference {
+                None => reference = Some(outcome.checksum),
+                Some(r) => assert_eq!(
+                    r,
+                    outcome.checksum,
+                    "{} diverged under composition {label}",
+                    inst.label()
+                ),
+            }
+        };
+        // The five named compositions, explicitly.
+        for variant in Variant::ALL {
+            check(&variant.to_string(), variant, variant.policies());
+        }
+        // The new axes over them.
+        for variant in Variant::ALL {
+            let mut p = variant.policies();
+            p.victim = VictimSelection::NearFirst;
+            check(&format!("{variant}+near-first"), variant, p);
+        }
+        let mut p = Policies::signal();
+        p.steal = StealAmount::Half;
+        check("signal+steal-half", Variant::Signal, p);
     }
 }
 
